@@ -1,0 +1,172 @@
+//! 64-way bit-parallel simulation of sequential AIGs.
+//!
+//! Each `u64` word carries 64 independent simulation runs; one forward pass
+//! evaluates all AND nodes, and [`AigSimulator::step`] clocks every latch in
+//! all runs at once. This is the workhorse behind PDAT's candidate-invariant
+//! falsification stage.
+
+use crate::aig::{Aig, AigLit, AigNode};
+
+/// Bit-parallel simulator over an [`Aig`].
+#[derive(Debug, Clone)]
+pub struct AigSimulator<'a> {
+    aig: &'a Aig,
+    /// Value word per node (positive polarity).
+    values: Vec<u64>,
+    /// State word per latch (indexed like `aig.latches()`).
+    state: Vec<u64>,
+}
+
+impl<'a> AigSimulator<'a> {
+    /// Create a simulator with all latches at their reset values (replicated
+    /// across all 64 lanes).
+    pub fn new(aig: &'a Aig) -> AigSimulator<'a> {
+        let state = aig
+            .latches()
+            .iter()
+            .map(|&l| match aig.node(l) {
+                AigNode::Latch { init, .. } => {
+                    if init {
+                        u64::MAX
+                    } else {
+                        0
+                    }
+                }
+                _ => unreachable!(),
+            })
+            .collect();
+        AigSimulator {
+            aig,
+            values: vec![0; aig.num_nodes()],
+            state,
+        }
+    }
+
+    /// Reset all lanes to the latch init values.
+    pub fn reset(&mut self) {
+        for (i, &l) in self.aig.latches().iter().enumerate() {
+            self.state[i] = match self.aig.node(l) {
+                AigNode::Latch { init: true, .. } => u64::MAX,
+                _ => 0,
+            };
+        }
+    }
+
+    /// Evaluate the combinational logic for the given input words
+    /// (`inputs[i]` drives `aig.inputs()[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != aig.inputs().len()`.
+    pub fn eval(&mut self, inputs: &[u64]) {
+        assert_eq!(inputs.len(), self.aig.inputs().len(), "input arity");
+        let mut in_idx = 0;
+        let mut latch_idx = 0;
+        for i in 0..self.aig.num_nodes() {
+            let id = crate::aig::AigNodeId(i as u32);
+            self.values[i] = match self.aig.node(id) {
+                AigNode::Const => 0,
+                AigNode::Input => {
+                    let v = inputs[in_idx];
+                    in_idx += 1;
+                    v
+                }
+                AigNode::Latch { .. } => {
+                    let v = self.state[latch_idx];
+                    latch_idx += 1;
+                    v
+                }
+                AigNode::And(a, b) => self.lit_word(a) & self.lit_word(b),
+            };
+        }
+    }
+
+    /// Word value of a literal after the last [`AigSimulator::eval`].
+    pub fn lit_word(&self, l: AigLit) -> u64 {
+        let v = self.values[l.node().index()];
+        if l.is_compl() {
+            !v
+        } else {
+            v
+        }
+    }
+
+    /// Clock edge: latch all next-state functions (uses the values from the
+    /// last `eval`).
+    pub fn step(&mut self) {
+        let next: Vec<u64> = self
+            .aig
+            .latches()
+            .iter()
+            .map(|&l| match self.aig.node(l) {
+                AigNode::Latch { next, .. } => self.lit_word(next),
+                _ => unreachable!(),
+            })
+            .collect();
+        self.state = next;
+    }
+
+    /// Direct access to latch state words (indexed like `aig.latches()`).
+    pub fn state(&self) -> &[u64] {
+        &self.state
+    }
+
+    /// Overwrite latch state words (for trajectory replay in tests).
+    pub fn set_state(&mut self, state: &[u64]) {
+        assert_eq!(state.len(), self.state.len());
+        self.state.copy_from_slice(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::Aig;
+
+    #[test]
+    fn and_or_xor_words() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let and = g.and(a, b);
+        let or = g.or(a, b);
+        let xor = g.xor(a, b);
+        let mut sim = AigSimulator::new(&g);
+        let wa = 0b1100;
+        let wb = 0b1010;
+        sim.eval(&[wa, wb]);
+        assert_eq!(sim.lit_word(and) & 0xF, 0b1000);
+        assert_eq!(sim.lit_word(or) & 0xF, 0b1110);
+        assert_eq!(sim.lit_word(xor) & 0xF, 0b0110);
+        assert_eq!(sim.lit_word(!and) & 0xF, 0b0111);
+    }
+
+    #[test]
+    fn latch_toggler() {
+        let mut g = Aig::new();
+        let q = g.add_latch(false);
+        g.set_latch_next(q, !q);
+        let mut sim = AigSimulator::new(&g);
+        sim.eval(&[]);
+        assert_eq!(sim.lit_word(q), 0);
+        sim.step();
+        sim.eval(&[]);
+        assert_eq!(sim.lit_word(q), u64::MAX);
+        sim.step();
+        sim.eval(&[]);
+        assert_eq!(sim.lit_word(q), 0);
+    }
+
+    #[test]
+    fn init_one_latch() {
+        let mut g = Aig::new();
+        let q = g.add_latch(true);
+        g.set_latch_next(q, q);
+        let mut sim = AigSimulator::new(&g);
+        sim.eval(&[]);
+        assert_eq!(sim.lit_word(q), u64::MAX);
+        sim.step();
+        sim.eval(&[]);
+        assert_eq!(sim.lit_word(q), u64::MAX);
+    }
+}

@@ -1,0 +1,123 @@
+//! Criterion benchmarks of the PDAT pipeline stages (the paper's §VII-C
+//! scalability claim): per-stage throughput on the Ibex-class core, plus a
+//! SAT-solver microbenchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdat::{run_pdat, ConstraintMode, Environment, PdatConfig};
+use pdat_aig::{netlist_to_aig, AigLit, AigSimulator};
+use pdat_cores::build_ibex;
+use pdat_isa::RvSubset;
+use pdat_sat::{Lit, SolveResult, Solver};
+use std::hint::black_box;
+
+/// SAT microbenchmark: pigeonhole 7-into-6 (a classic hard UNSAT family).
+fn bench_sat(c: &mut Criterion) {
+    c.bench_function("sat/pigeonhole_7_6", |b| {
+        b.iter(|| {
+            let n = 7;
+            let m = 6;
+            let mut s = Solver::new();
+            let p: Vec<Vec<_>> = (0..n)
+                .map(|_| (0..m).map(|_| s.new_var()).collect())
+                .collect();
+            for pi in p.iter() {
+                let clause: Vec<Lit> = pi.iter().map(|&v| Lit::pos(v)).collect();
+                s.add_clause(&clause);
+            }
+            for j in 0..m {
+                for i1 in 0..n {
+                    for i2 in i1 + 1..n {
+                        s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                    }
+                }
+            }
+            assert_eq!(s.solve(), SolveResult::Unsat);
+        })
+    });
+}
+
+/// AIG simulation throughput: 64-lane cycles/second on the Ibex-class AIG.
+fn bench_sim(c: &mut Criterion) {
+    let core = build_ibex();
+    let na = netlist_to_aig(&core.netlist, &[]);
+    let n_inputs = na.aig.inputs().len();
+    c.bench_function("sim/ibex_64lane_cycle", |b| {
+        let mut sim = AigSimulator::new(&na.aig);
+        let inputs = vec![0xA5A5_5A5A_DEAD_BEEFu64; n_inputs];
+        b.iter(|| {
+            sim.eval(black_box(&inputs));
+            sim.step();
+        })
+    });
+}
+
+/// Netlist → AIG conversion of the Ibex-class core.
+fn bench_aig_build(c: &mut Criterion) {
+    let core = build_ibex();
+    c.bench_function("aig/build_ibex", |b| {
+        b.iter(|| netlist_to_aig(black_box(&core.netlist), &[]))
+    });
+}
+
+/// Plain resynthesis of the Ibex-class core (the paper's DC stand-in).
+fn bench_resynth(c: &mut Criterion) {
+    let core = build_ibex();
+    let mut g = c.benchmark_group("synth");
+    g.sample_size(10);
+    g.bench_function("resynthesize_ibex", |b| {
+        b.iter(|| pdat_synth::resynthesize(black_box(&core.netlist)))
+    });
+    g.finish();
+}
+
+/// Whole-pipeline runs at reduced budgets (wall-clock trend; the full-budget
+/// numbers live in the fig5/6/7 harnesses).
+fn bench_pipeline(c: &mut Criterion) {
+    let core = build_ibex();
+    let subset = RvSubset::rv32i();
+    let config = PdatConfig {
+        sim_cycles: 96,
+        conflict_budget: Some(20_000),
+        max_iterations: 500,
+        seed: 1,
+    };
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("pdat_ibex_rv32i_fastbudget", |b| {
+        b.iter(|| {
+            run_pdat(
+                black_box(&core.netlist),
+                &Environment::Rv {
+                    subset: &subset,
+                    ports: vec![core.cut_fetch.clone()],
+                    mode: ConstraintMode::CutpointBased,
+                },
+                &config,
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Constraint recognizer construction cost.
+fn bench_constraint(c: &mut Criterion) {
+    c.bench_function("constraint/rv32imcz_recognizer", |b| {
+        b.iter(|| {
+            let mut aig = pdat_aig::Aig::new();
+            let lits: Vec<AigLit> = (0..32).map(|_| aig.add_input()).collect();
+            let idx: Vec<usize> = (0..32).collect();
+            pdat::rv_constraint(&mut aig, &lits, idx, &RvSubset::rv32imcz())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sat,
+    bench_sim,
+    bench_aig_build,
+    bench_resynth,
+    bench_pipeline,
+    bench_constraint
+);
+criterion_main!(benches);

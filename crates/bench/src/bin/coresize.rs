@@ -1,0 +1,5 @@
+fn main() {
+    println!("{}", pdat_cores::build_ibex().netlist.stats());
+    println!("{}", pdat_cores::build_cortexm0().netlist.stats());
+    println!("{}", pdat_cores::build_ridecore().netlist.stats());
+}

@@ -1,0 +1,29 @@
+//! Regenerates the paper's Fig. 7: PDAT scalability on the ~100k-gate
+//! RIDECORE-class out-of-order core (port-based constraints).
+
+use pdat_bench::{
+    paper_config, render_rows, restrict_to_ridecore, ridecore_isa, ridecore_variant_rows,
+    write_csv,
+};
+use pdat_isa::RvSubset;
+use pdat_workloads::mibench_rv_all;
+
+fn main() {
+    let config = paper_config();
+    let subsets = vec![
+        ridecore_isa(), // the paper's "RIDECORE ISA" full-ISA PDAT run
+        RvSubset::rv32i(),
+        RvSubset::rv32e(),
+        restrict_to_ridecore(mibench_rv_all()),
+    ];
+    let rows = ridecore_variant_rows(&subsets, &config);
+    print!("{}", render_rows("Fig. 7: RIDECORE variants", &rows));
+    if let Ok(p) = write_csv("fig7.csv", &rows) {
+        println!("-> {}\n", p.display());
+    }
+    println!(
+        "paper shape: results muted vs Ibex (large OoO structures are\n\
+         ISA-insensitive); ~6% area from the full-ISA run; 14-17% gate reduction\n\
+         across variants; absolute savings comparable to Ibex (RV32i->RV32e delta)."
+    );
+}

@@ -1,0 +1,31 @@
+//! Regenerates the paper's Table I: the number of instructions used by the
+//! MiBench benchmark groups on the Ibex (RV32IMC+Zicsr) and Cortex-M0
+//! (ARMv6-M) cores — here measured by executing the MiBench-like kernels
+//! on the instruction-set simulators.
+
+use pdat_workloads::{table1_rv, table1_thumb};
+
+fn main() {
+    println!("TABLE I — instructions used per MiBench group (measured)\n");
+    println!("Ibex (supported counts per extension in parentheses):");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>14} {:>8}",
+        "group", "RV32i base", "M-ext", "C-ext", "Zicsr-ext", "total"
+    );
+    for row in table1_rv() {
+        let c = &row.counts;
+        println!(
+            "{:<12} {:>7} ({:>2}) {:>7} ({:>2}) {:>7} ({:>2}) {:>9} ({:>2}) {:>8}",
+            row.label, c[0].1, c[0].2, c[1].1, c[1].2, c[2].1, c[2].2, c[3].1, c[3].2, row.total
+        );
+    }
+    println!("\nCortex M0 (ARMv6-M, 83 instruction forms):");
+    println!("{:<12} {:>8} {:>11}", "group", "used", "supported");
+    for (label, used, supported) in table1_thumb() {
+        println!("{label:<12} {used:>8} {supported:>11}");
+    }
+    println!(
+        "\npaper reference — Ibex: net 33 / sec 42 / auto 50 / total 53 of 78;\n\
+         Cortex M0: net 33 / sec 40 / auto 48 / total 50 of 83."
+    );
+}

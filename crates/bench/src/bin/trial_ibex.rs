@@ -1,0 +1,51 @@
+//! Exploratory harness: PDAT on the Ibex-class core for a few subsets.
+
+use pdat::{run_pdat, ConstraintMode, Environment, PdatConfig};
+use pdat_cores::build_ibex;
+use pdat_isa::RvSubset;
+use std::time::Instant;
+
+fn main() {
+    let core = build_ibex();
+    println!("full (no synthesis): {}", core.netlist.stats());
+    let config = PdatConfig::default();
+
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("imcz");
+    let subset = match which {
+        "imcz" => RvSubset::rv32imcz(),
+        "imc" => RvSubset::rv32imc(),
+        "im" => RvSubset::rv32im(),
+        "ic" => RvSubset::rv32ic(),
+        "i" => RvSubset::rv32i(),
+        "e" => RvSubset::rv32e(),
+        _ => RvSubset::rv32imcz(),
+    };
+    let t = Instant::now();
+    let res = run_pdat(
+        &core.netlist,
+        &Environment::Rv {
+            subset: &subset,
+            ports: vec![core.cut_fetch.clone()],
+            mode: ConstraintMode::CutpointBased,
+        },
+        &config,
+    );
+    println!(
+        "{}: cands={} sim_survivors={} proved={} | gates {} -> {} ({:+.1}%) area {:.0} -> {:.0} ({:+.1}%) | {:.1}s (sim {:.1}s, prove {:.1}s, synth {:.1}s)",
+        subset.name,
+        res.candidates,
+        res.sim_survivors,
+        res.proved,
+        res.baseline.gate_count,
+        res.optimized.gate_count,
+        -100.0 * res.gate_reduction(),
+        res.baseline.area_um2,
+        res.optimized.area_um2,
+        -100.0 * res.area_reduction(),
+        t.elapsed().as_secs_f64(),
+        res.stage_times.0.as_secs_f64(),
+        res.stage_times.1.as_secs_f64(),
+        res.stage_times.2.as_secs_f64(),
+    );
+}

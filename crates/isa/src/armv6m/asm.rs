@@ -1,0 +1,176 @@
+//! A small label-aware Thumb assembler for the ARMv6-M kernels.
+
+/// A code label for branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TLabel(usize);
+
+#[derive(Debug, Clone, Copy)]
+enum Fix {
+    /// Conditional branch (8-bit offset).
+    Cond(super::encode::Cond),
+    /// Unconditional 16-bit branch (11-bit offset).
+    Uncond,
+    /// 32-bit BL.
+    Bl,
+}
+
+/// Thumb program builder.
+///
+/// # Example
+///
+/// ```
+/// use pdat_isa::armv6m::{ThumbAssembler, t_mov_imm, t_sub_imm8, Cond};
+///
+/// let mut a = ThumbAssembler::new();
+/// let done = a.new_label();
+/// a.emit(t_mov_imm(0, 5));
+/// let top = a.here();
+/// a.emit(t_sub_imm8(0, 1));
+/// a.b_cond(Cond::Eq, done);
+/// a.b_back(top);
+/// a.bind(done);
+/// let image = a.finish();
+/// assert!(image.len() >= 8);
+/// ```
+#[derive(Debug, Default)]
+pub struct ThumbAssembler {
+    bytes: Vec<u8>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<(usize, TLabel, Fix)>,
+}
+
+impl ThumbAssembler {
+    /// Start an empty program at address 0.
+    pub fn new() -> ThumbAssembler {
+        ThumbAssembler::default()
+    }
+
+    /// Current byte address.
+    pub fn here(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Allocate an unbound label.
+    pub fn new_label(&mut self) -> TLabel {
+        self.labels.push(None);
+        TLabel(self.labels.len() - 1)
+    }
+
+    /// Bind `label` here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already bound.
+    pub fn bind(&mut self, label: TLabel) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.bytes.len());
+    }
+
+    /// Emit a 16-bit instruction.
+    pub fn emit(&mut self, hw: u16) {
+        self.bytes.extend_from_slice(&hw.to_le_bytes());
+    }
+
+    /// Emit both halves of a 32-bit instruction.
+    pub fn emit32(&mut self, hw1: u16, hw2: u16) {
+        self.emit(hw1);
+        self.emit(hw2);
+    }
+
+    /// `b<cond> label`.
+    pub fn b_cond(&mut self, cond: super::encode::Cond, l: TLabel) {
+        self.fixups.push((self.bytes.len(), l, Fix::Cond(cond)));
+        self.emit(0);
+    }
+
+    /// `b label`.
+    pub fn b(&mut self, l: TLabel) {
+        self.fixups.push((self.bytes.len(), l, Fix::Uncond));
+        self.emit(0);
+    }
+
+    /// `bl label`.
+    pub fn bl(&mut self, l: TLabel) {
+        self.fixups.push((self.bytes.len(), l, Fix::Bl));
+        self.emit32(0, 0);
+    }
+
+    /// Unconditional backwards branch to a raw address from
+    /// [`ThumbAssembler::here`].
+    pub fn b_back(&mut self, target: usize) {
+        // Thumb branch offsets are relative to PC+4.
+        let off = target as i64 - (self.bytes.len() as i64 + 4);
+        self.emit(super::encode::t_b(off as i32));
+    }
+
+    /// Resolve fixups and return the image.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unbound labels or out-of-range offsets.
+    pub fn finish(mut self) -> Vec<u8> {
+        let fixups = std::mem::take(&mut self.fixups);
+        for (at, label, fix) in fixups {
+            let target = self.labels[label.0].expect("unbound label") as i64;
+            let off = (target - (at as i64 + 4)) as i32;
+            match fix {
+                Fix::Cond(c) => {
+                    let hw = super::encode::t_b_cond(c, off);
+                    self.bytes[at..at + 2].copy_from_slice(&hw.to_le_bytes());
+                }
+                Fix::Uncond => {
+                    let hw = super::encode::t_b(off);
+                    self.bytes[at..at + 2].copy_from_slice(&hw.to_le_bytes());
+                }
+                Fix::Bl => {
+                    let (h1, h2) = super::encode::t_bl(off);
+                    self.bytes[at..at + 2].copy_from_slice(&h1.to_le_bytes());
+                    self.bytes[at + 2..at + 4].copy_from_slice(&h2.to_le_bytes());
+                }
+            }
+        }
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::armv6m::encode::*;
+
+    #[test]
+    fn loop_with_conditional_exit() {
+        let mut a = ThumbAssembler::new();
+        let done = a.new_label();
+        a.emit(t_mov_imm(0, 3));
+        let top = a.here();
+        a.emit(t_sub_imm8(0, 1));
+        a.b_cond(Cond::Eq, done);
+        a.b_back(top);
+        a.bind(done);
+        let img = a.finish();
+        assert_eq!(img.len(), 8);
+        // The conditional branch at byte 4 targets byte 8: off = 8-(4+4)=0.
+        let hw = u16::from_le_bytes(img[4..6].try_into().unwrap());
+        assert_eq!(hw, t_b_cond(Cond::Eq, 0));
+        // The b_back at byte 6 targets byte 2: off = 2-(6+4) = -8.
+        let hw = u16::from_le_bytes(img[6..8].try_into().unwrap());
+        assert_eq!(hw, t_b(-8));
+    }
+
+    #[test]
+    fn bl_emits_four_bytes() {
+        let mut a = ThumbAssembler::new();
+        let f = a.new_label();
+        a.bl(f);
+        a.emit(t_nop());
+        a.bind(f);
+        a.emit(t_bx(14));
+        let img = a.finish();
+        assert_eq!(img.len(), 8);
+        let h1 = u16::from_le_bytes(img[0..2].try_into().unwrap());
+        let h2 = u16::from_le_bytes(img[2..4].try_into().unwrap());
+        // BL at 0 targets byte 6: off = 6 - 4 = 2.
+        assert_eq!((h1, h2), t_bl(2));
+    }
+}

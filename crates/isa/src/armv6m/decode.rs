@@ -1,0 +1,93 @@
+//! ARMv6-M form identification.
+
+use crate::armv6m::ThumbInstr;
+
+/// Is `hw1` the first halfword of a 32-bit Thumb instruction?
+pub fn is_32bit_prefix(hw1: u16) -> bool {
+    matches!(hw1 & 0xF800, 0xE800 | 0xF000 | 0xF800)
+}
+
+/// Identify the instruction form.
+///
+/// For 16-bit instructions pass the halfword (upper bits ignored). For
+/// 32-bit instructions pass `hw1 << 16 | hw2`. Returns `None` for encodings
+/// outside the 83-form inventory.
+pub fn decode_form(word: u32) -> Option<ThumbInstr> {
+    let wide = word > 0xFFFF && is_32bit_prefix((word >> 16) as u16);
+    for i in ThumbInstr::ALL {
+        if i.is_32bit() == wide && i.pattern().matches(word) {
+            // BCond excludes cond=1110 (UDF) and 1111 (SVC) — those have
+            // their own patterns earlier in priority order, so reaching
+            // BCond with those bits means the word wasn't caught; reject.
+            if i == ThumbInstr::BCond {
+                let cond = word >> 8 & 0xF;
+                if cond >= 14 {
+                    continue;
+                }
+            }
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::armv6m::encode::*;
+
+    #[test]
+    fn forms_identified() {
+        use ThumbInstr::*;
+        assert_eq!(decode_form(t_mov_imm(0, 1) as u32), Some(MovImm));
+        assert_eq!(decode_form(t_mov_reg(1, 2) as u32), Some(MovsReg));
+        assert_eq!(decode_form(t_lsl_imm(1, 2, 3) as u32), Some(LslsImm));
+        assert_eq!(decode_form(t_add_reg(1, 2, 3) as u32), Some(AddsReg));
+        assert_eq!(decode_form(t_mul(1, 2) as u32), Some(Muls));
+        assert_eq!(decode_form(t_push(0x101) as u32), Some(Push));
+        assert_eq!(decode_form(t_b(4) as u32), Some(B));
+        assert_eq!(decode_form(t_b_cond(Cond::Eq, 4) as u32), Some(BCond));
+        assert_eq!(decode_form(t_bx(14) as u32), Some(Bx));
+        let (h1, h2) = t_bl(64);
+        assert_eq!(decode_form((h1 as u32) << 16 | h2 as u32), Some(Bl));
+    }
+
+    #[test]
+    fn bcond_rejects_udf_and_svc_space() {
+        // cond = 1110 -> UDF, cond = 1111 -> SVC.
+        assert_eq!(decode_form(0xDE00), Some(ThumbInstr::Udf));
+        assert_eq!(decode_form(0xDF05), Some(ThumbInstr::Svc));
+    }
+
+    #[test]
+    fn prefix_detection() {
+        assert!(is_32bit_prefix(0xF000));
+        assert!(is_32bit_prefix(0xF800));
+        assert!(is_32bit_prefix(0xE800));
+        assert!(!is_32bit_prefix(0xE000)); // 16-bit B
+        assert!(!is_32bit_prefix(0x4700));
+    }
+
+    #[test]
+    fn every_form_pattern_value_decodes_to_itself_or_higher_priority() {
+        for i in ThumbInstr::ALL {
+            let p = i.pattern();
+            let got = decode_form(p.value);
+            // The pattern's own canonical value must decode to the form
+            // itself, except where a more specific earlier form legitimately
+            // captures the canonical value (e.g. MOVS reg inside LSLS #0,
+            // ADD(sp,reg) inside ADD(reg,hi), hints inside each other's
+            // space is impossible as they are exact).
+            if let Some(g) = got {
+                let pi = ThumbInstr::ALL.iter().position(|&x| x == i).unwrap();
+                let pg = ThumbInstr::ALL.iter().position(|&x| x == g).unwrap();
+                assert!(
+                    pg <= pi,
+                    "{i}: canonical value decoded to lower-priority {g}"
+                );
+            } else {
+                panic!("{i}: canonical pattern value failed to decode");
+            }
+        }
+    }
+}

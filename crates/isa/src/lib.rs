@@ -1,0 +1,32 @@
+//! Instruction-set models for the PDAT reproduction.
+//!
+//! Two ISAs are modeled at the fidelity the paper needs:
+//!
+//! * [`rv32`] — RV32IMC + Zicsr/Zifencei (78 instruction forms, matching
+//!   the Ibex row of the paper's Table I), with encoders, decoders, a
+//!   compressed-instruction expander and a label-aware assembler;
+//! * [`armv6m`] — ARMv6-M / Thumb (83 forms, matching the Cortex-M0 row),
+//!   with encoders, a form decoder and an assembler.
+//!
+//! [`RvSubset`] and [`ThumbSubset`] name the reduced ISAs evaluated in the
+//! paper's figures; PDAT compiles them into environment-restriction
+//! circuits via the [`Pattern`] recognizers every form carries.
+//!
+//! # Example
+//!
+//! ```
+//! use pdat_isa::rv32::{decode_form, add, RvInstr};
+//! use pdat_isa::RvSubset;
+//!
+//! let word = add(1, 2, 3);
+//! assert_eq!(decode_form(word), Some(RvInstr::Add));
+//! assert!(!RvSubset::reduced_addressing().contains(RvInstr::Add));
+//! ```
+
+pub mod armv6m;
+mod pattern;
+pub mod rv32;
+mod subset;
+
+pub use pattern::{Pattern, PatternWidth};
+pub use subset::{RvSubset, ThumbSubset};

@@ -1,0 +1,93 @@
+//! Bit patterns describing instruction forms.
+//!
+//! An instruction *form* is recognized by a `(mask, value)` pair: a word `w`
+//! matches when `w & mask == value`. Overlapping patterns are resolved by
+//! priority order (earlier forms win), exactly as a hardware decoder's
+//! priority logic does. The PDAT environment-restriction builder turns a set
+//! of allowed forms into a recognizer circuit using the same rule.
+
+/// Width of an instruction form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternWidth {
+    /// A 16-bit (compressed / Thumb) encoding; `mask`/`value` use bits 15:0.
+    Half,
+    /// A full 32-bit encoding.
+    Word,
+}
+
+/// A `(mask, value)` recognizer for one instruction form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    /// Which bits participate in the match.
+    pub mask: u32,
+    /// Required values of the masked bits.
+    pub value: u32,
+    /// Encoding width.
+    pub width: PatternWidth,
+}
+
+impl Pattern {
+    /// A 32-bit pattern.
+    pub const fn word(mask: u32, value: u32) -> Pattern {
+        Pattern {
+            mask,
+            value,
+            width: PatternWidth::Word,
+        }
+    }
+
+    /// A 16-bit pattern.
+    pub const fn half(mask: u16, value: u16) -> Pattern {
+        Pattern {
+            mask: mask as u32,
+            value: value as u32,
+            width: PatternWidth::Half,
+        }
+    }
+
+    /// Does `word` match this pattern? (For half patterns only bits 15:0 of
+    /// `word` are considered.)
+    pub fn matches(&self, word: u32) -> bool {
+        let w = match self.width {
+            PatternWidth::Half => word & 0xFFFF,
+            PatternWidth::Word => word,
+        };
+        w & self.mask == self.value
+    }
+
+    /// Can some word match both patterns? (Same width required.)
+    pub fn overlaps(&self, other: &Pattern) -> bool {
+        self.width == other.width && (self.value ^ other.value) & self.mask & other.mask == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_basics() {
+        let p = Pattern::word(0x7F, 0x37);
+        assert!(p.matches(0x0000_0037));
+        assert!(p.matches(0xFFFF_FFB7 & !0x80)); // other bits free
+        assert!(!p.matches(0x0000_0033));
+    }
+
+    #[test]
+    fn half_ignores_upper_bits() {
+        let p = Pattern::half(0xE003, 0x4001);
+        assert!(p.matches(0xDEAD_4001));
+        assert!(!p.matches(0x0000_4003));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let generic = Pattern::word(0x7F, 0x13);
+        let specific = Pattern::word(0x707F, 0x0013);
+        assert!(generic.overlaps(&specific));
+        let other = Pattern::word(0x7F, 0x33);
+        assert!(!generic.overlaps(&other));
+        let half = Pattern::half(0x3, 0x1);
+        assert!(!generic.overlaps(&half), "different widths never overlap");
+    }
+}

@@ -1,0 +1,122 @@
+//! Candidate gate invariants — the netlist-side view of the paper's
+//! Property Library (Listing 1).
+//!
+//! For every cell output the library asserts the constant properties
+//! (`ZN == 0`, `ZN == 1`) and, for rewiring-useful cases, equality with an
+//! input net (which subsumes the paper's implication properties: proving
+//! `A1 -> A2` on an AND2 makes the output equal to `A1`).
+
+use pdat_aig::NetlistAig;
+use pdat_netlist::{Driver, NetId, Netlist};
+
+/// What a candidate asserts about [`Candidate::net`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CandidateKind {
+    /// The net is 0 on every constrained execution.
+    ConstFalse,
+    /// The net is 1 on every constrained execution.
+    ConstTrue,
+    /// The net always equals another net (one of its cell's inputs).
+    EqualNet(NetId),
+}
+
+/// One candidate invariant, bound to a gate output net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// The gate-output net the property is asserted on.
+    pub net: NetId,
+    /// The asserted invariant.
+    pub kind: CandidateKind,
+}
+
+/// Generate the full candidate set for a netlist.
+///
+/// Nets without an AIG literal (e.g. nets cut out of the analysis) are
+/// skipped, as are DFF *inputs* (state rewiring happens through the
+/// combinational cones). Equality candidates are only created between a
+/// cell's output and its input nets — the only rewirings the PDAT pipeline
+/// performs.
+pub fn candidates_for_netlist(nl: &Netlist, na: &NetlistAig) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for (cid, c) in nl.cells() {
+        if c.kind.is_tie() {
+            continue;
+        }
+        if nl.driver(c.output) != Driver::Cell(cid) {
+            continue; // rewired away already
+        }
+        if !na.net_lit.contains_key(&c.output) {
+            continue;
+        }
+        out.push(Candidate {
+            net: c.output,
+            kind: CandidateKind::ConstFalse,
+        });
+        out.push(Candidate {
+            net: c.output,
+            kind: CandidateKind::ConstTrue,
+        });
+        if !c.kind.is_sequential() {
+            for &i in &c.inputs {
+                if na.net_lit.contains_key(&i) && i != c.output {
+                    out.push(Candidate {
+                        net: c.output,
+                        kind: CandidateKind::EqualNet(i),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdat_aig::netlist_to_aig;
+    use pdat_netlist::{CellKind, Netlist};
+
+    #[test]
+    fn generates_expected_candidates_per_gate() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_cell(CellKind::And2, &[a, b], "y");
+        nl.add_output("y", y);
+        let na = netlist_to_aig(&nl, &[]);
+        let cands = candidates_for_netlist(&nl, &na);
+        // AND2: const0, const1, ==a, ==b.
+        assert_eq!(cands.len(), 4);
+        assert!(cands.contains(&Candidate {
+            net: y,
+            kind: CandidateKind::EqualNet(a)
+        }));
+    }
+
+    #[test]
+    fn dffs_get_constant_candidates_only() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let q = nl.add_dff(a, false, "q");
+        nl.add_output("q", q);
+        let na = netlist_to_aig(&nl, &[]);
+        let cands = candidates_for_netlist(&nl, &na);
+        assert_eq!(cands.len(), 2);
+        assert!(cands.iter().all(|c| c.net == q));
+        assert!(!cands
+            .iter()
+            .any(|c| matches!(c.kind, CandidateKind::EqualNet(_))));
+    }
+
+    #[test]
+    fn tie_cells_skipped() {
+        let mut nl = Netlist::new("t");
+        let t1 = nl.add_cell(CellKind::Tie1, &[], "one");
+        let a = nl.add_input("a");
+        let y = nl.add_cell(CellKind::And2, &[a, t1], "y");
+        nl.add_output("y", y);
+        let na = netlist_to_aig(&nl, &[]);
+        let cands = candidates_for_netlist(&nl, &na);
+        assert!(cands.iter().all(|c| c.net == y));
+    }
+}

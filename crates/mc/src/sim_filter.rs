@@ -1,0 +1,172 @@
+//! Bit-parallel constrained random simulation for candidate falsification.
+
+use crate::candidates::{Candidate, CandidateKind};
+use pdat_aig::{AigLit, AigSimulator, NetlistAig};
+use rand::rngs::StdRng;
+
+/// Knobs for the falsification pass.
+#[derive(Debug, Clone)]
+pub struct SimFilterConfig {
+    /// Number of simulated cycles (each cycle carries 64 parallel lanes).
+    pub cycles: usize,
+}
+
+impl Default for SimFilterConfig {
+    fn default() -> Self {
+        SimFilterConfig { cycles: 512 }
+    }
+}
+
+/// Run constrained random simulation and drop every candidate that is
+/// falsified in any lane of any cycle where the environment constraint held
+/// continuously since reset.
+///
+/// `stimulus(rng, n)` must return one 64-lane word per AIG input (length
+/// `n`), already respecting the environment's input constraints as well as
+/// it can; `constraint` is additionally monitored, and lanes where it ever
+/// goes low stop contributing evidence (a sticky per-lane mask) — their
+/// later behaviour can neither kill nor save a candidate.
+pub fn simulate_filter(
+    na: &NetlistAig,
+    constraint: AigLit,
+    candidates: &[Candidate],
+    config: &SimFilterConfig,
+    stimulus: &mut dyn FnMut(&mut StdRng, usize) -> Vec<u64>,
+    rng: &mut StdRng,
+) -> Vec<Candidate> {
+    let aig = &na.aig;
+    let mut sim = AigSimulator::new(aig);
+    let n_inputs = aig.inputs().len();
+    let mut alive = vec![true; candidates.len()];
+
+    #[derive(Clone, Copy)]
+    enum KindLit {
+        Const(bool),
+        Equal(AigLit),
+    }
+    let resolved: Vec<Option<(AigLit, KindLit)>> = candidates
+        .iter()
+        .map(|c| {
+            let target = na.net_lit.get(&c.net).copied()?;
+            let kind = match c.kind {
+                CandidateKind::ConstFalse => KindLit::Const(false),
+                CandidateKind::ConstTrue => KindLit::Const(true),
+                CandidateKind::EqualNet(other) => {
+                    KindLit::Equal(na.net_lit.get(&other).copied()?)
+                }
+            };
+            Some((target, kind))
+        })
+        .collect();
+
+    // Sticky per-lane constraint mask: a lane contributes while the
+    // constraint has held on every cycle so far.
+    let mut lane_ok = u64::MAX;
+    for _cycle in 0..config.cycles {
+        let inputs = stimulus(rng, n_inputs);
+        sim.eval(&inputs);
+        let cons = sim.lit_word(constraint);
+        lane_ok &= cons;
+        if lane_ok == 0 {
+            // Every lane violated the constraint at some point: restart
+            // from reset with fresh lanes.
+            sim.reset();
+            lane_ok = u64::MAX;
+            continue;
+        }
+        for (i, r) in resolved.iter().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            let Some((target, kind)) = r else {
+                alive[i] = false;
+                continue;
+            };
+            let got = sim.lit_word(*target);
+            let bad = match kind {
+                KindLit::Const(false) => got,
+                KindLit::Const(true) => !got,
+                KindLit::Equal(l) => got ^ sim.lit_word(*l),
+            };
+            if bad & lane_ok != 0 {
+                alive[i] = false;
+            }
+        }
+        sim.step();
+    }
+
+    candidates
+        .iter()
+        .zip(&alive)
+        .filter(|(_, &a)| a)
+        .map(|(c, _)| *c)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdat_aig::netlist_to_aig;
+    use pdat_netlist::{CellKind, Netlist};
+    use rand::SeedableRng;
+
+    #[test]
+    fn kills_noisy_keeps_constant() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let na_inv = nl.add_cell(CellKind::Inv, &[a], "na");
+        let never = nl.add_cell(CellKind::And2, &[a, na_inv], "never"); // == 0
+        let noisy = nl.add_cell(CellKind::Xor2, &[a, never], "noisy"); // == a
+        nl.add_output("noisy", noisy);
+        let conv = netlist_to_aig(&nl, &[]);
+        let cands = crate::candidates_for_netlist(&nl, &conv);
+        let mut rng = StdRng::seed_from_u64(1);
+        let alive = simulate_filter(
+            &conv,
+            AigLit::TRUE,
+            &cands,
+            &SimFilterConfig { cycles: 64 },
+            &mut |r, n| (0..n).map(|_| rand::Rng::gen::<u64>(r)).collect(),
+            &mut rng,
+        );
+        assert!(alive.contains(&Candidate {
+            net: never,
+            kind: CandidateKind::ConstFalse
+        }));
+        assert!(!alive.contains(&Candidate {
+            net: noisy,
+            kind: CandidateKind::ConstFalse
+        }));
+        assert!(alive.contains(&Candidate {
+            net: noisy,
+            kind: CandidateKind::EqualNet(a)
+        }));
+    }
+
+    #[test]
+    fn constraint_mask_prevents_false_kills() {
+        // y = a; under constraint a==1 the candidate y==1 must survive even
+        // though the stimulus sometimes violates the constraint.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_cell(CellKind::Buf, &[a], "y");
+        nl.add_output("y", y);
+        let conv = netlist_to_aig(&nl, &[]);
+        let constraint = conv.input_lit[&a];
+        let cands = vec![Candidate {
+            net: y,
+            kind: CandidateKind::ConstTrue,
+        }];
+        let mut rng = StdRng::seed_from_u64(5);
+        let alive = simulate_filter(
+            &conv,
+            constraint,
+            &cands,
+            &SimFilterConfig { cycles: 32 },
+            // Half the lanes violate the constraint.
+            &mut |_r, n| vec![0xAAAA_AAAA_AAAA_AAAA; n],
+            &mut rng,
+        );
+        assert_eq!(alive.len(), 1, "y==1 survives in constraint-satisfying lanes");
+    }
+}

@@ -1,0 +1,304 @@
+//! A minimal structural text format for netlists.
+//!
+//! Soft/firm IPs ship as structural (often obfuscated) netlists; this module
+//! provides the serialization boundary PDAT consumes and produces. The
+//! format is line-oriented:
+//!
+//! ```text
+//! design counter
+//! input  rst
+//! net    d0
+//! gate   INV g0 (q0) -> d0
+//! dff    DFF g1 init=0 (d0) -> q0
+//! assign d0 = 1      # rewiring: constant
+//! assign d0 = n:q0   # rewiring: alias
+//! output q q0
+//! ```
+//!
+//! Net references are by name; declaration order defines ids.
+
+use crate::cell::CellKind;
+use crate::netlist::{Driver, Netlist};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`parse_netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNetlistError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseNetlistError {}
+
+/// Serialize `nl` to the structural text format.
+pub fn write_netlist(nl: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("design {}\n", nl.name()));
+    for &i in nl.inputs() {
+        out.push_str(&format!("input {}\n", nl.net(i).name));
+    }
+    // Declare remaining nets so names survive a round trip.
+    for (net, info) in nl.nets() {
+        if !matches!(nl.driver(net), Driver::Input) {
+            out.push_str(&format!("net {}\n", info.name));
+        }
+    }
+    for (cid, c) in nl.cells() {
+        let pins: Vec<&str> = c.inputs.iter().map(|&n| nl.net(n).name.as_str()).collect();
+        if c.kind.is_sequential() {
+            out.push_str(&format!(
+                "dff {} {} init={} ({}) -> {}\n",
+                c.kind.name(),
+                cid,
+                u8::from(c.init),
+                pins.join(", "),
+                nl.net(c.output).name
+            ));
+        } else {
+            out.push_str(&format!(
+                "gate {} {} ({}) -> {}\n",
+                c.kind.name(),
+                cid,
+                pins.join(", "),
+                nl.net(c.output).name
+            ));
+        }
+    }
+    for (net, info) in nl.nets() {
+        match nl.driver(net) {
+            Driver::Const(v) => {
+                out.push_str(&format!("assign {} = {}\n", info.name, u8::from(v)))
+            }
+            Driver::Alias(src) => {
+                out.push_str(&format!("assign {} = n:{}\n", info.name, nl.net(src).name))
+            }
+            _ => {}
+        }
+    }
+    for (port, net) in nl.outputs() {
+        out.push_str(&format!("output {} {}\n", port, nl.net(*net).name));
+    }
+    out
+}
+
+/// Parse the structural text format produced by [`write_netlist`].
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] with a line number on any syntax problem or
+/// dangling reference.
+pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
+    let mut nl = Netlist::new("unnamed");
+    let mut by_name: HashMap<String, crate::netlist::NetId> = HashMap::new();
+    let err = |line: usize, message: &str| ParseNetlistError {
+        line,
+        message: message.to_string(),
+    };
+
+    // First pass: declarations, so forward references in gates work.
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let l = raw.split('#').next().unwrap_or("").trim();
+        if l.is_empty() {
+            continue;
+        }
+        let mut it = l.split_whitespace();
+        match it.next().unwrap() {
+            "design" => {
+                let name = it.next().ok_or_else(|| err(line, "missing design name"))?;
+                nl = Netlist::new(name);
+                by_name.clear();
+            }
+            "input" => {
+                let name = it.next().ok_or_else(|| err(line, "missing input name"))?;
+                let id = nl.add_input(name);
+                by_name.insert(name.to_string(), id);
+            }
+            "net" => {
+                let name = it.next().ok_or_else(|| err(line, "missing net name"))?;
+                let id = nl.add_net(name);
+                by_name.insert(name.to_string(), id);
+            }
+            "gate" | "dff" | "assign" | "output" => {}
+            other => return Err(err(line, &format!("unknown directive `{other}`"))),
+        }
+    }
+
+    // Second pass: gates, assigns, outputs.
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let l = raw.split('#').next().unwrap_or("").trim();
+        if l.is_empty() {
+            continue;
+        }
+        let mut it = l.split_whitespace();
+        let head = it.next().unwrap();
+        match head {
+            "gate" | "dff" => {
+                let kind_s = it.next().ok_or_else(|| err(line, "missing cell kind"))?;
+                let kind = CellKind::from_name(kind_s)
+                    .ok_or_else(|| err(line, &format!("unknown cell kind `{kind_s}`")))?;
+                let rest: String = it.collect::<Vec<_>>().join(" ");
+                // rest looks like: gN [init=B] (a, b) -> out
+                let mut init = false;
+                let rest = if let Some(pos) = rest.find("init=") {
+                    let v = rest[pos + 5..]
+                        .chars()
+                        .next()
+                        .ok_or_else(|| err(line, "bad init"))?;
+                    init = v == '1';
+                    format!("{}{}", &rest[..pos], &rest[pos + 6..])
+                } else {
+                    rest
+                };
+                let open = rest.find('(').ok_or_else(|| err(line, "missing `(`"))?;
+                let close = rest.find(')').ok_or_else(|| err(line, "missing `)`"))?;
+                let pins: Vec<&str> = rest[open + 1..close]
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                let arrow = rest.find("->").ok_or_else(|| err(line, "missing `->`"))?;
+                let out_name = rest[arrow + 2..].trim();
+                let ins: Result<Vec<_>, _> = pins
+                    .iter()
+                    .map(|p| {
+                        by_name
+                            .get(*p)
+                            .copied()
+                            .ok_or_else(|| err(line, &format!("unknown net `{p}`")))
+                    })
+                    .collect();
+                let ins = ins?;
+                let out = *by_name
+                    .get(out_name)
+                    .ok_or_else(|| err(line, &format!("unknown output net `{out_name}`")))?;
+                if ins.len() != kind.num_inputs() {
+                    return Err(err(line, "pin count mismatch"));
+                }
+                nl.connect_cell(kind, &ins, out, init);
+            }
+            "assign" => {
+                let lhs = it.next().ok_or_else(|| err(line, "missing lhs"))?;
+                let eq = it.next().ok_or_else(|| err(line, "missing `=`"))?;
+                if eq != "=" {
+                    return Err(err(line, "expected `=`"));
+                }
+                let rhs = it.next().ok_or_else(|| err(line, "missing rhs"))?;
+                let lhs_id = *by_name
+                    .get(lhs)
+                    .ok_or_else(|| err(line, &format!("unknown net `{lhs}`")))?;
+                if let Some(net) = rhs.strip_prefix("n:") {
+                    let src = *by_name
+                        .get(net)
+                        .ok_or_else(|| err(line, &format!("unknown net `{net}`")))?;
+                    nl.assign_alias(lhs_id, src);
+                } else {
+                    match rhs {
+                        "0" => nl.assign_const(lhs_id, false),
+                        "1" => nl.assign_const(lhs_id, true),
+                        _ => return Err(err(line, "rhs must be 0, 1, or n:<net>")),
+                    }
+                }
+            }
+            "output" => {
+                let port = it.next().ok_or_else(|| err(line, "missing port name"))?;
+                let net = it.next().ok_or_else(|| err(line, "missing net name"))?;
+                let id = *by_name
+                    .get(net)
+                    .ok_or_else(|| err(line, &format!("unknown net `{net}`")))?;
+                nl.add_output(port, id);
+            }
+            _ => {}
+        }
+    }
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::sim::Simulator;
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new("sample");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_cell(CellKind::Nand2, &[a, b], "x");
+        let q = nl.add_dff(x, true, "q");
+        let y = nl.add_cell(CellKind::Xor2, &[q, a], "y");
+        nl.add_output("y", y);
+        nl
+    }
+
+    #[test]
+    fn round_trip_preserves_behaviour() {
+        let nl = sample();
+        let text = write_netlist(&nl);
+        let back = parse_netlist(&text).expect("parses");
+        assert_eq!(back.name(), "sample");
+        back.validate().expect("valid");
+        // Behavioural check on a few cycles.
+        let a1 = nl.inputs()[0];
+        let b1 = nl.inputs()[1];
+        let a2 = back.inputs()[0];
+        let b2 = back.inputs()[1];
+        let y1 = nl.outputs()[0].1;
+        let y2 = back.outputs()[0].1;
+        let mut s1 = Simulator::new(&nl);
+        let mut s2 = Simulator::new(&back);
+        let stimulus = [(false, false), (true, false), (true, true), (false, true)];
+        for &(va, vb) in &stimulus {
+            s1.set_inputs(&[(a1, va), (b1, vb)]);
+            s2.set_inputs(&[(a2, va), (b2, vb)]);
+            assert_eq!(s1.value(y1), s2.value(y2));
+            s1.step();
+            s2.step();
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_rewiring() {
+        let mut nl = sample();
+        let x = nl.find_net("x").unwrap();
+        nl.assign_const(x, false);
+        let text = write_netlist(&nl);
+        let back = parse_netlist(&text).expect("parses");
+        let xb = back.find_net("x").unwrap();
+        assert_eq!(back.driver(xb), Driver::Const(false));
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let bad = "design d\ninput a\ngate BOGUS g0 (a) -> y\n";
+        let e = parse_netlist(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("BOGUS"));
+    }
+
+    #[test]
+    fn unknown_net_rejected() {
+        let bad = "design d\ninput a\nnet y\ngate INV g0 (zzz) -> y\n";
+        let e = parse_netlist(bad).unwrap_err();
+        assert!(e.message.contains("zzz"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "design d\n\n# comment\ninput a # trailing\noutput a a\n";
+        let nl = parse_netlist(text).expect("parses");
+        assert_eq!(nl.inputs().len(), 1);
+        assert_eq!(nl.outputs().len(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! Gate-level netlist representation for the PDAT reproduction.
+//!
+//! A [`Netlist`] is a flat, technology-mapped sequential circuit: a set of
+//! nets, a set of cell instances drawn from a fixed standard-cell
+//! [`CellLibrary`], primary inputs/outputs, and D flip-flops with reset
+//! values. This is the interchange format every other PDAT crate operates
+//! on: core generators produce netlists, the model checker analyzes them,
+//! the rewiring and resynthesis stages transform them.
+//!
+//! # Example
+//!
+//! ```
+//! use pdat_netlist::{Netlist, CellKind};
+//!
+//! let mut nl = Netlist::new("toy");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let y = nl.add_cell(CellKind::And2, &[a, b], "y");
+//! nl.add_output("y", y);
+//! assert_eq!(nl.gate_count(), 1);
+//! nl.validate().expect("well formed");
+//! ```
+
+mod cell;
+mod format;
+mod netlist;
+mod sim;
+mod stats;
+mod validate;
+
+pub use cell::{CellKind, CellLibrary, CELL_LIBRARY};
+pub use format::{parse_netlist, write_netlist, ParseNetlistError};
+pub use netlist::{Cell, CellId, Driver, Net, NetId, Netlist, PortDir};
+pub use sim::Simulator;
+pub use stats::NetlistStats;
+pub use validate::ValidateError;

@@ -1,0 +1,148 @@
+//! Aggregate netlist statistics: the numbers the paper's figures report.
+
+use crate::cell::{CellKind, CELL_LIBRARY};
+use crate::netlist::Netlist;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Gate count, area, and per-kind histogram of a [`Netlist`].
+///
+/// # Example
+///
+/// ```
+/// use pdat_netlist::{Netlist, CellKind};
+///
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// nl.add_cell(CellKind::Xor2, &[a, b], "y");
+/// let stats = nl.stats();
+/// assert_eq!(stats.gate_count, 1);
+/// assert!(stats.area_um2 > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Design name.
+    pub name: String,
+    /// Cell instances excluding tie cells (paper's "gate count").
+    pub gate_count: usize,
+    /// Sequential (DFF) instances.
+    pub dff_count: usize,
+    /// Total cell area in square micrometres.
+    pub area_um2: f64,
+    /// Number of nets.
+    pub net_count: usize,
+    /// Instances per cell kind.
+    pub histogram: BTreeMap<CellKind, usize>,
+}
+
+impl NetlistStats {
+    /// Compute statistics for `nl`.
+    pub fn of(nl: &Netlist) -> NetlistStats {
+        let mut histogram: BTreeMap<CellKind, usize> = BTreeMap::new();
+        let mut area = 0.0;
+        let mut dff = 0;
+        let mut gates = 0;
+        for (_, c) in nl.cells() {
+            *histogram.entry(c.kind).or_insert(0) += 1;
+            area += CELL_LIBRARY.area(c.kind);
+            if c.kind.is_sequential() {
+                dff += 1;
+            }
+            if !c.kind.is_tie() {
+                gates += 1;
+            }
+        }
+        NetlistStats {
+            name: nl.name().to_string(),
+            gate_count: gates,
+            dff_count: dff,
+            area_um2: area,
+            net_count: nl.num_nets(),
+            histogram,
+        }
+    }
+
+    /// Relative gate-count reduction versus `baseline` (1.0 = all gates gone).
+    pub fn gate_reduction_vs(&self, baseline: &NetlistStats) -> f64 {
+        if baseline.gate_count == 0 {
+            return 0.0;
+        }
+        1.0 - self.gate_count as f64 / baseline.gate_count as f64
+    }
+
+    /// Relative area reduction versus `baseline`.
+    pub fn area_reduction_vs(&self, baseline: &NetlistStats) -> f64 {
+        if baseline.area_um2 == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.area_um2 / baseline.area_um2
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} gates ({} DFF), {:.1} um^2, {} nets",
+            self.name, self.gate_count, self.dff_count, self.area_um2, self.net_count
+        )?;
+        for (kind, n) in &self.histogram {
+            writeln!(f, "  {kind:<6} {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    fn two_gate_netlist() -> Netlist {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let x = nl.add_cell(CellKind::Inv, &[a], "x");
+        nl.add_dff(x, false, "q");
+        nl
+    }
+
+    #[test]
+    fn histogram_counts_kinds() {
+        let nl = two_gate_netlist();
+        let s = nl.stats();
+        assert_eq!(s.histogram[&CellKind::Inv], 1);
+        assert_eq!(s.histogram[&CellKind::Dff], 1);
+        assert_eq!(s.gate_count, 2);
+        assert_eq!(s.dff_count, 1);
+    }
+
+    #[test]
+    fn reductions_are_relative() {
+        let nl = two_gate_netlist();
+        let base = nl.stats();
+        let mut smaller = base.clone();
+        smaller.gate_count = 1;
+        smaller.area_um2 = base.area_um2 / 2.0;
+        assert!((smaller.gate_reduction_vs(&base) - 0.5).abs() < 1e-9);
+        assert!((smaller.area_reduction_vs(&base) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tie_cells_excluded_from_gate_count() {
+        let mut nl = Netlist::new("t");
+        let t1 = nl.add_cell(CellKind::Tie1, &[], "one");
+        nl.add_cell(CellKind::Buf, &[t1], "y");
+        let s = nl.stats();
+        assert_eq!(s.gate_count, 1);
+        assert_eq!(s.histogram[&CellKind::Tie1], 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let nl = two_gate_netlist();
+        let text = nl.stats().to_string();
+        assert!(text.contains("gates"));
+        assert!(text.contains("INV"));
+    }
+}

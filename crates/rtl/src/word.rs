@@ -1,0 +1,84 @@
+//! Multi-bit signal bundles.
+
+use pdat_netlist::NetId;
+
+/// An ordered bundle of nets, least-significant bit first.
+///
+/// `Word` is a pure handle — all construction and arithmetic lives on
+/// [`crate::RtlBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Word(Vec<NetId>);
+
+impl Word {
+    /// Bundle existing nets (LSB first).
+    pub fn from_bits(bits: Vec<NetId>) -> Word {
+        Word(bits)
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The nets, LSB first.
+    pub fn bits(&self) -> &[NetId] {
+        &self.0
+    }
+
+    /// Single bit accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width()`.
+    pub fn bit(&self, i: usize) -> NetId {
+        self.0[i]
+    }
+
+    /// Most significant bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word is empty.
+    pub fn msb(&self) -> NetId {
+        *self.0.last().expect("empty word")
+    }
+
+    /// A sub-range `[lo, hi)` as a new word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, lo: usize, hi: usize) -> Word {
+        Word(self.0[lo..hi].to_vec())
+    }
+
+    /// Concatenate `self` (low part) with `high`.
+    pub fn concat(&self, high: &Word) -> Word {
+        let mut v = self.0.clone();
+        v.extend_from_slice(&high.0);
+        Word(v)
+    }
+}
+
+impl FromIterator<NetId> for Word {
+    fn from_iter<T: IntoIterator<Item = NetId>>(iter: T) -> Word {
+        Word(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slicing_and_concat() {
+        let bits: Vec<NetId> = (0..8).map(NetId).collect();
+        let w = Word::from_bits(bits);
+        assert_eq!(w.width(), 8);
+        assert_eq!(w.bit(0), NetId(0));
+        assert_eq!(w.msb(), NetId(7));
+        let lo = w.slice(0, 4);
+        let hi = w.slice(4, 8);
+        assert_eq!(lo.concat(&hi), w);
+    }
+}

@@ -1,0 +1,847 @@
+//! The CDCL solver implementation.
+
+use std::fmt;
+
+/// A boolean variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(u32);
+
+impl Var {
+    /// Index of the variable (0-based, dense).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a dense index previously obtained from a solver.
+    pub fn from_index(i: usize) -> Var {
+        Var(i as u32)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation. Encoded as `2*var + sign`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// Negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit(v.0 << 1 | 1)
+    }
+
+    /// Literal of `v` with the given phase (`true` = positive).
+    pub fn with_phase(v: Var, phase: bool) -> Lit {
+        if phase {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// Variable underneath.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True if this is the positive literal.
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense code (used for watch lists).
+    fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pos() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "!{}", self.var())
+        }
+    }
+}
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found (query it with [`Solver::value`]).
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a verdict.
+    Unknown,
+}
+
+const LBOOL_UNDEF: u8 = 2;
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f32,
+    deleted: bool,
+}
+
+type ClauseRef = u32;
+
+/// Conflict-driven clause-learning SAT solver.
+///
+/// See the crate docs for an example. The solver is incremental: clauses may
+/// be added between `solve` calls, and [`Solver::solve_with`] checks
+/// satisfiability under temporary assumptions without permanently asserting
+/// them.
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<ClauseRef>>, // indexed by lit code
+    assigns: Vec<u8>,             // lbool per var
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    // VSIDS
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: Vec<Var>,
+    heap_pos: Vec<usize>, // usize::MAX when absent
+    polarity: Vec<bool>,  // saved phases
+    // analysis scratch
+    seen: Vec<bool>,
+    // stats / limits
+    conflicts: u64,
+    decisions: u64,
+    propagations: u64,
+    conflict_budget: Option<u64>,
+    ok: bool,
+    cla_inc: f32,
+    learnt_cap: usize,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Create an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: Vec::new(),
+            heap_pos: Vec::new(),
+            polarity: Vec::new(),
+            seen: Vec::new(),
+            conflicts: 0,
+            decisions: 0,
+            propagations: 0,
+            conflict_budget: None,
+            ok: true,
+            cla_inc: 1.0,
+            learnt_cap: 8192,
+        }
+    }
+
+    /// Allocate a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBOOL_UNDEF);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.polarity.push(false);
+        self.seen.push(false);
+        self.heap_pos.push(usize::MAX);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap_insert(v);
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of problem (non-learnt) clauses added.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.learnt && !c.deleted).count()
+    }
+
+    /// Conflicts encountered so far (across all solve calls).
+    pub fn num_conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Decisions made so far.
+    pub fn num_decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Propagations performed so far.
+    pub fn num_propagations(&self) -> u64 {
+        self.propagations
+    }
+
+    /// Limit the number of conflicts per [`Solver::solve`] call; `None`
+    /// removes the limit. When exhausted, `solve` returns
+    /// [`SolveResult::Unknown`] — the PDAT pipeline treats that as "property
+    /// unproved", which is safe (paper §VII-C).
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    fn lit_value(&self, l: Lit) -> u8 {
+        let a = self.assigns[l.var().index()];
+        if a == LBOOL_UNDEF {
+            LBOOL_UNDEF
+        } else {
+            (a ^ (l.0 & 1) as u8) & 1
+        }
+    }
+
+    /// Value of `v` in the most recent satisfying model, or `None` if
+    /// unassigned / no model.
+    pub fn value(&self, v: Var) -> Option<bool> {
+        match self.assigns[v.index()] {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Add a clause (a disjunction of literals).
+    ///
+    /// Returns `false` if the solver became trivially unsatisfiable (the
+    /// clause is empty after simplification or contradicts current
+    /// top-level units).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        // Simplify: dedup, drop false lits, detect tautology/true lits.
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        let mut sorted = lits.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        for &l in &sorted {
+            if sorted.contains(&!l) {
+                return true; // tautology
+            }
+            match self.lit_value(l) {
+                1 => return true, // already satisfied at top level
+                0 => continue,    // falsified at top level: drop
+                _ => c.push(l),
+            }
+        }
+        match c.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(c[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                self.attach_clause(c, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        let cref = self.clauses.len() as ClauseRef;
+        self.watches[(!lits[0]).code()].push(cref);
+        self.watches[(!lits[1]).code()].push(cref);
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+            deleted: false,
+        });
+        cref
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, from: Option<ClauseRef>) {
+        debug_assert_eq!(self.lit_value(l), LBOOL_UNDEF);
+        let v = l.var();
+        self.assigns[v.index()] = u8::from(l.is_pos());
+        self.level[v.index()] = self.decision_level();
+        self.reason[v.index()] = from;
+        self.trail.push(l);
+    }
+
+    /// Two-watched-literal propagation. Returns a conflicting clause ref.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            let mut i = 0;
+            let mut watch = std::mem::take(&mut self.watches[p.code()]);
+            let mut conflict = None;
+            while i < watch.len() {
+                let cref = watch[i];
+                if self.clauses[cref as usize].deleted {
+                    watch.swap_remove(i);
+                    continue;
+                }
+                // Ensure the falsified literal (!p) is at position 1.
+                let falsified = !p;
+                {
+                    let c = &mut self.clauses[cref as usize];
+                    if c.lits[0] == falsified {
+                        c.lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[cref as usize].lits[0];
+                if self.lit_value(first) == 1 {
+                    i += 1;
+                    continue; // clause satisfied
+                }
+                // Look for a new watch among lits[2..].
+                let mut moved = false;
+                let len = self.clauses[cref as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref as usize].lits[k];
+                    if self.lit_value(lk) != 0 {
+                        self.clauses[cref as usize].lits.swap(1, k);
+                        self.watches[(!lk).code()].push(cref);
+                        watch.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // No new watch: clause is unit or conflicting.
+                if self.lit_value(first) == 0 {
+                    conflict = Some(cref);
+                    self.qhead = self.trail.len();
+                    break;
+                } else {
+                    self.unchecked_enqueue(first, Some(cref));
+                    i += 1;
+                }
+            }
+            // Put back remaining watchers.
+            let existing = std::mem::replace(&mut self.watches[p.code()], watch);
+            self.watches[p.code()].extend(existing);
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn var_bump(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in self.activity.iter_mut() {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap_update(v);
+    }
+
+    fn var_decay(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    fn cla_bump(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for cl in self.clauses.iter_mut() {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns (learnt clause, backtrack level).
+    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot 0 for the asserting lit
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        loop {
+            self.cla_bump(conflict);
+            let lits: Vec<Lit> = self.clauses[conflict as usize].lits.clone();
+            let start = usize::from(p.is_some());
+            for &q in &lits[start..] {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.var_bump(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Pick next literal to expand from the trail.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if self.seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.unwrap().var();
+            self.seen[pv.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !p.unwrap();
+                break;
+            }
+            conflict = self.reason[pv.index()].expect("non-decision must have reason");
+        }
+        // Clause minimization: drop literals implied by the rest.
+        let mut minimized: Vec<Lit> = Vec::with_capacity(learnt.len());
+        minimized.push(learnt[0]);
+        for &l in &learnt[1..] {
+            let r = self.reason[l.var().index()];
+            let redundant = match r {
+                None => false,
+                Some(cr) => self.clauses[cr as usize].lits.iter().all(|&q| {
+                    q.var() == l.var() || self.seen[q.var().index()] || self.level[q.var().index()] == 0
+                }),
+            };
+            if !redundant {
+                minimized.push(l);
+            }
+        }
+        // Clear seen flags.
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        let learnt = minimized;
+        // Backtrack level: second-highest level in the clause.
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            self.level[learnt[max_i].var().index()]
+        };
+        (learnt, bt)
+    }
+
+    fn cancel_until(&mut self, lvl: u32) {
+        if self.decision_level() <= lvl {
+            return;
+        }
+        let lim = self.trail_lim[lvl as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            self.assigns[v.index()] = LBOOL_UNDEF;
+            self.polarity[v.index()] = l.is_pos();
+            self.reason[v.index()] = None;
+            if self.heap_pos[v.index()] == usize::MAX {
+                self.heap_insert(v);
+            }
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(lvl as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap_pop() {
+            if self.assigns[v.index()] == LBOOL_UNDEF {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        // Remove the lower-activity half of long learnt clauses.
+        let mut learnt_refs: Vec<ClauseRef> = (0..self.clauses.len() as ClauseRef)
+            .filter(|&cr| {
+                let c = &self.clauses[cr as usize];
+                c.learnt && !c.deleted && c.lits.len() > 2
+            })
+            .collect();
+        learnt_refs.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let locked: Vec<bool> = learnt_refs
+            .iter()
+            .map(|&cr| {
+                let c = &self.clauses[cr as usize];
+                self.lit_value(c.lits[0]) == 1
+                    && self.reason[c.lits[0].var().index()] == Some(cr)
+            })
+            .collect();
+        for (idx, &cr) in learnt_refs.iter().take(learnt_refs.len() / 2).enumerate() {
+            if !locked[idx] {
+                self.clauses[cr as usize].deleted = true;
+            }
+        }
+    }
+
+    /// Solve the current formula with no assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with(&[])
+    }
+
+    /// Solve under temporary `assumptions` (asserted as pseudo-decisions;
+    /// fully retracted afterwards).
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        let budget_start = self.conflicts;
+        let mut restart_idx = 0u64;
+        let result = loop {
+            match self.search(assumptions, luby(restart_idx) * 100, budget_start) {
+                SearchOutcome::Sat => break SolveResult::Sat,
+                SearchOutcome::Unsat => break SolveResult::Unsat,
+                SearchOutcome::Restart => {
+                    restart_idx += 1;
+                }
+                SearchOutcome::BudgetExhausted => break SolveResult::Unknown,
+            }
+        };
+        if result != SolveResult::Sat {
+            self.cancel_until(0);
+        } else {
+            // Keep the model readable via value(); retract on next call.
+            self.cancel_model_lazily();
+        }
+        result
+    }
+
+    fn cancel_model_lazily(&mut self) {
+        // We leave assignments in place so value() reads the model, but the
+        // next solve must start from level 0: record that by truncating
+        // decision bookkeeping now and clearing assignment state lazily.
+        // Simplest correct approach: copy the model, cancel, then restore
+        // assigns for reading.
+        let model = self.assigns.clone();
+        self.cancel_until(0);
+        // Re-apply model values for variables not assigned at level 0 purely
+        // for reading; they are not on the trail so the next solve re-decides
+        // them. Reasons/levels are cleared.
+        for (i, &m) in model.iter().enumerate() {
+            if self.assigns[i] == LBOOL_UNDEF {
+                self.assigns[i] = m;
+            }
+        }
+        // Mark that assigns beyond the trail are "model residue": the next
+        // search clears them in restore_invariants.
+    }
+
+    fn restore_invariants(&mut self) {
+        // Clear model residue: any assigned var not on the trail.
+        let mut on_trail = vec![false; self.num_vars()];
+        for &l in &self.trail {
+            on_trail[l.var().index()] = true;
+        }
+        for i in 0..self.num_vars() {
+            if !on_trail[i] && self.assigns[i] != LBOOL_UNDEF {
+                self.polarity[i] = self.assigns[i] == 1;
+                self.assigns[i] = LBOOL_UNDEF;
+                if self.heap_pos[i] == usize::MAX {
+                    self.heap_insert(Var(i as u32));
+                }
+            }
+        }
+    }
+
+    fn search(
+        &mut self,
+        assumptions: &[Lit],
+        conflicts_before_restart: u64,
+        budget_start: u64,
+    ) -> SearchOutcome {
+        self.restore_invariants();
+        let mut local_conflicts = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                local_conflicts += 1;
+                if self.decision_level() == 0 {
+                    // Root-level conflict: the formula itself is
+                    // unsatisfiable, permanently. Latching this is required
+                    // for incremental reuse (the violated clause's watchers
+                    // have already fired and will not fire again).
+                    self.ok = false;
+                    return SearchOutcome::Unsat;
+                }
+                if self.decision_level() <= assumptions.len() as u32 {
+                    // Conflict under the assumptions alone.
+                    return SearchOutcome::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                // Never backtrack past the assumption levels.
+                let bt = bt.max(0);
+                self.cancel_until(bt.max(0));
+                if learnt.len() == 1 {
+                    if self.decision_level() > 0 {
+                        // Re-assert below: cancel to a level where it's free.
+                        self.cancel_until(0);
+                    }
+                    if self.lit_value(learnt[0]) == 0 {
+                        // Contradicts a root-level fact: permanently unsat.
+                        self.ok = false;
+                        return SearchOutcome::Unsat;
+                    }
+                    if self.lit_value(learnt[0]) == LBOOL_UNDEF {
+                        self.unchecked_enqueue(learnt[0], None);
+                    }
+                } else {
+                    let cref = self.attach_clause(learnt.clone(), true);
+                    self.unchecked_enqueue(learnt[0], Some(cref));
+                }
+                self.var_decay();
+                self.cla_inc *= 1.001;
+                if self
+                    .clauses
+                    .iter()
+                    .filter(|c| c.learnt && !c.deleted)
+                    .count()
+                    > self.learnt_cap
+                {
+                    self.reduce_db();
+                    self.learnt_cap += self.learnt_cap / 10;
+                }
+                if let Some(b) = self.conflict_budget {
+                    if self.conflicts - budget_start >= b {
+                        return SearchOutcome::BudgetExhausted;
+                    }
+                }
+                if local_conflicts >= conflicts_before_restart
+                    && self.decision_level() > assumptions.len() as u32
+                {
+                    self.cancel_until(assumptions.len() as u32);
+                    return SearchOutcome::Restart;
+                }
+            } else {
+                // Place assumptions as successive decisions.
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.lit_value(a) {
+                        1 => {
+                            // Already true: open an empty decision level so
+                            // indices stay aligned.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        0 => return SearchOutcome::Unsat,
+                        _ => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => return SearchOutcome::Sat,
+                    Some(v) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let phase = self.polarity[v.index()];
+                        self.unchecked_enqueue(Lit::with_phase(v, phase), None);
+                    }
+                }
+            }
+        }
+    }
+
+    // --- indexed binary max-heap on activity ---
+
+    fn heap_less(&self, a: Var, b: Var) -> bool {
+        self.activity[a.index()] > self.activity[b.index()]
+    }
+
+    fn heap_insert(&mut self, v: Var) {
+        self.heap_pos[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.heap_sift_up(self.heap.len() - 1);
+    }
+
+    fn heap_pop(&mut self) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.heap_pos[top.index()] = usize::MAX;
+        let last = self.heap.pop().unwrap();
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last.index()] = 0;
+            self.heap_sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn heap_update(&mut self, v: Var) {
+        let pos = self.heap_pos[v.index()];
+        if pos != usize::MAX {
+            self.heap_sift_up(pos);
+        }
+    }
+
+    fn heap_sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap_less(self.heap[i], self.heap[parent]) {
+                self.heap.swap(i, parent);
+                self.heap_pos[self.heap[i].index()] = i;
+                self.heap_pos[self.heap[parent].index()] = parent;
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && self.heap_less(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.heap_less(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap.swap(i, best);
+            self.heap_pos[self.heap[i].index()] = i;
+            self.heap_pos[self.heap[best].index()] = best;
+            i = best;
+        }
+    }
+}
+
+enum SearchOutcome {
+    Sat,
+    Unsat,
+    Restart,
+    BudgetExhausted,
+}
+
+/// Luby restart sequence: 1,1,2,1,1,2,4,...
+fn luby(i: u64) -> u64 {
+    // luby(i) for 0-based i: if i+2 is a power of two, return (i+2)/2;
+    // otherwise recurse on the remainder of the subsequence.
+    let n = i + 1;
+    let mut k = 1u64;
+    while (1 << k) - 1 < n {
+        k += 1;
+    }
+    if (1 << k) - 1 == n {
+        1 << (k - 1)
+    } else {
+        luby(n - (1 << (k - 1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let got: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn lit_encoding() {
+        let v = Var::from_index(3);
+        assert!(Lit::pos(v).is_pos());
+        assert!(!Lit::neg(v).is_pos());
+        assert_eq!(!Lit::pos(v), Lit::neg(v));
+        assert_eq!(Lit::pos(v).var(), v);
+        assert_eq!(Lit::with_phase(v, false), Lit::neg(v));
+    }
+}
+
+#[cfg(test)]
+mod repro_tests {
+    use super::*;
+
+    #[test]
+    fn reusable_after_contradictory_assumptions_repro() {
+        // Distilled from a proptest counterexample.
+        let mut s = Solver::new();
+        let v: Vec<Var> = (0..5).map(|_| s.new_var()).collect();
+        let cl: Vec<Vec<Lit>> = vec![
+            vec![Lit::pos(v[0])],
+            vec![Lit::pos(v[1])],
+            vec![Lit::neg(v[4]), Lit::pos(v[2])],
+            vec![Lit::neg(v[2]), Lit::pos(v[0])],
+            vec![Lit::pos(v[4]), Lit::neg(v[3])],
+            vec![Lit::neg(v[2]), Lit::neg(v[4])],
+            vec![Lit::pos(v[3]), Lit::pos(v[4])],
+        ];
+        for c in &cl {
+            assert!(s.add_clause(c));
+        }
+        // The formula is UNSAT (x4=1 forces x2 and !x2; x4=0 forces x3 and
+        // !x3); the verdict must be stable across assumption calls.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let _ = s.solve_with(&[Lit::pos(v[0]), Lit::neg(v[0])]);
+        assert_eq!(s.solve(), SolveResult::Unsat, "root conflict must latch");
+    }
+}

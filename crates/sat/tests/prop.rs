@@ -1,0 +1,94 @@
+//! Property-based tests: the CDCL solver agrees with brute force on random
+//! CNF, models satisfy all clauses, and assumptions behave like temporary
+//! unit clauses.
+
+use pdat_sat::{Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+/// A random clause set over `nvars` variables.
+fn clauses_strategy(nvars: usize) -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
+    let lit = (0..nvars, any::<bool>());
+    let clause = prop::collection::vec(lit, 1..4);
+    prop::collection::vec(clause, 1..24)
+}
+
+fn brute_force(nvars: usize, clauses: &[Vec<(usize, bool)>]) -> Option<u64> {
+    'outer: for bits in 0u64..(1 << nvars) {
+        for c in clauses {
+            let sat = c
+                .iter()
+                .any(|&(v, pos)| (bits >> v & 1 == 1) == pos);
+            if !sat {
+                continue 'outer;
+            }
+        }
+        return Some(bits);
+    }
+    None
+}
+
+fn build_solver(nvars: usize, clauses: &[Vec<(usize, bool)>]) -> (Solver, Vec<Var>, bool) {
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..nvars).map(|_| s.new_var()).collect();
+    let mut ok = true;
+    for c in clauses {
+        let lits: Vec<Lit> = c
+            .iter()
+            .map(|&(v, pos)| Lit::with_phase(vars[v], pos))
+            .collect();
+        ok &= s.add_clause(&lits);
+    }
+    (s, vars, ok)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn agrees_with_brute_force(clauses in clauses_strategy(7)) {
+        let expected = brute_force(7, &clauses);
+        let (mut s, vars, ok) = build_solver(7, &clauses);
+        if !ok {
+            prop_assert!(expected.is_none(), "conflict at add but satisfiable");
+            return Ok(());
+        }
+        let got = s.solve();
+        prop_assert_eq!(got == SolveResult::Sat, expected.is_some());
+        if got == SolveResult::Sat {
+            for c in &clauses {
+                prop_assert!(
+                    c.iter().any(|&(v, pos)| s.value(vars[v]) == Some(pos)),
+                    "model violates clause {:?}", c
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assumptions_match_added_units(clauses in clauses_strategy(6), assum in prop::collection::vec((0usize..6, any::<bool>()), 0..3)) {
+        // solve_with(assumptions) must agree with solving a copy where the
+        // assumptions are permanent unit clauses.
+        let (mut s1, vars1, ok1) = build_solver(6, &clauses);
+        let (mut s2, vars2, ok2) = build_solver(6, &clauses);
+        prop_assume!(ok1 && ok2);
+        let alits: Vec<Lit> = assum.iter().map(|&(v, p)| Lit::with_phase(vars1[v], p)).collect();
+        let r1 = s1.solve_with(&alits);
+        let mut ok = true;
+        for &(v, p) in &assum {
+            ok &= s2.add_clause(&[Lit::with_phase(vars2[v], p)]);
+        }
+        let r2 = if ok { s2.solve() } else { SolveResult::Unsat };
+        prop_assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn solver_is_reusable_after_unsat_assumptions(clauses in clauses_strategy(5)) {
+        let (mut s, vars, ok) = build_solver(5, &clauses);
+        prop_assume!(ok);
+        let base = s.solve();
+        // Force an unsat assumption pair, then re-check the base problem.
+        let _ = s.solve_with(&[Lit::pos(vars[0]), Lit::neg(vars[0])]);
+        let again = s.solve();
+        prop_assert_eq!(base, again, "assumption retraction broke the solver");
+    }
+}

@@ -1,0 +1,35 @@
+//! Workloads for the PDAT reproduction: MiBench-like kernels, instruction
+//! set simulators, and the instruction-usage profiler behind the paper's
+//! Table I and the "MiBench" ISA subsets of Figures 5 and 6.
+//!
+//! The paper profiles MiBench binaries compiled with gcc 9.2.0; this crate
+//! substitutes hand-assembled kernels that compute verifiable results
+//! (CRC-32, shortest paths, sorts, popcounts, Feistel rounds …) and are
+//! *executed* on the [`Rv32Iss`] / [`ThumbIss`] simulators, recording every
+//! distinct instruction form used. See DESIGN.md for the substitution
+//! rationale.
+//!
+//! # Example
+//!
+//! ```
+//! use pdat_workloads::{run_rv_kernel, kernels_rv};
+//!
+//! let iss = run_rv_kernel(&kernels_rv::basicmath());
+//! assert_eq!(iss.regs[10], 1111 * 1000 + 252); // isqrt + gcd
+//! ```
+
+pub mod kernels_rv;
+pub mod kernels_thumb;
+mod profile;
+mod rv32_iss;
+mod thumb_iss;
+
+pub use kernels_rv::RvKernel;
+pub use kernels_thumb::ThumbKernel;
+pub use profile::{
+    mibench_rv_all, mibench_rv_subset, mibench_thumb_all, mibench_thumb_subset, run_rv_kernel,
+    run_thumb_kernel, rv_group_usage, table1_rv, table1_thumb, thumb_group_usage, BenchGroup,
+    Table1Row,
+};
+pub use rv32_iss::{Rv32Iss, RvStop};
+pub use thumb_iss::{ThumbIss, ThumbStop};

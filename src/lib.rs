@@ -1,0 +1,20 @@
+//! Umbrella crate for the PDAT reproduction workspace: re-exports the
+//! public API of every subsystem so examples and integration tests can use
+//! a single dependency.
+//!
+//! See the [`pdat`] crate for the pipeline itself and DESIGN.md for the
+//! system inventory.
+
+pub use pdat::{
+    run_pdat, run_pdat_with, rv_constraint, thumb_constraint, ConstraintMode, Environment,
+    ExtraRestriction, InstrConstraint, PdatConfig, PdatResult,
+};
+pub use pdat_aig as aig;
+pub use pdat_cores as cores;
+pub use pdat_isa as isa;
+pub use pdat_mc as mc;
+pub use pdat_netlist as netlist;
+pub use pdat_rtl as rtl;
+pub use pdat_sat as sat;
+pub use pdat_synth as synth;
+pub use pdat_workloads as workloads;

@@ -1,0 +1,160 @@
+//! The paper's Fig. 3 versatility claims: environment restrictions beyond
+//! ISA subsets — pinned inputs (disabled IRQ lines, strapped config pins)
+//! and explicit code-at-address mappings (reset handlers, trap vectors).
+
+use pdat_repro::cores::build_ibex;
+use pdat_repro::isa::RvSubset;
+use pdat_repro::netlist::{CellKind, Netlist};
+use pdat_repro::{
+    run_pdat, run_pdat_with, ConstraintMode, Environment, ExtraRestriction, PdatConfig,
+};
+
+fn fast_config() -> PdatConfig {
+    PdatConfig {
+        sim_cycles: 128,
+        conflict_budget: Some(40_000),
+        max_iterations: 1_000,
+        seed: 0xE17A,
+    }
+}
+
+#[test]
+fn pinned_input_enables_removal() {
+    // A "mode pin" gates a datapath; pinning it removes the gated logic.
+    let mut nl = Netlist::new("pinned");
+    let mode = nl.add_input("mode");
+    let d: Vec<_> = (0..8).map(|i| nl.add_input(format!("d[{i}]"))).collect();
+    let mut accum = Vec::new();
+    for (i, &bit) in d.iter().enumerate() {
+        let gated = nl.add_cell(CellKind::And2, &[bit, mode], format!("g{i}"));
+        let q = nl.add_dff(gated, false, format!("q{i}"));
+        accum.push(q);
+        nl.add_output(format!("u[{i}]"), q);
+    }
+    let cheap = nl.add_cell(CellKind::Xor2, &[d[0], d[1]], "cheap");
+    nl.add_output("y", cheap);
+
+    // Unrestricted: the gated pipeline stays.
+    let base = run_pdat(&nl, &Environment::Unconstrained, &fast_config());
+    assert!(base.optimized.dff_count == 8);
+
+    // With `mode` pinned low the whole unit is provably dead.
+    let res = run_pdat_with(
+        &nl,
+        &Environment::Unconstrained,
+        &[ExtraRestriction::PinnedInput {
+            nets: vec![mode],
+            value: 0,
+        }],
+        &fast_config(),
+    );
+    assert_eq!(res.optimized.dff_count, 0, "pinned-mode unit removed");
+    assert!(res.optimized.gate_count < base.optimized.gate_count);
+}
+
+#[test]
+fn code_at_reset_address_is_respected() {
+    // Pin the instruction at the reset address to a specific NOP-like word
+    // on a tiny fetch model: addr register, instr input, decode of a "boot"
+    // flag that only a non-NOP at the reset address could set.
+    let mut nl = Netlist::new("rom");
+    let instr: Vec<_> = (0..8).map(|i| nl.add_input(format!("instr[{i}]"))).collect();
+    // 2-bit pc counter.
+    let pc0_fb = nl.add_net("pc0_fb");
+    let pc1_fb = nl.add_net("pc1_fb");
+    let pc0_n = nl.add_cell(CellKind::Inv, &[pc0_fb], "pc0_n");
+    let carry = pc0_fb;
+    let pc1_x = nl.add_cell(CellKind::Xor2, &[pc1_fb, carry], "pc1_x");
+    let pc0 = nl.add_dff(pc0_n, false, "pc0");
+    let pc1 = nl.add_dff(pc1_x, false, "pc1");
+    nl.assign_alias(pc0_fb, pc0);
+    nl.assign_alias(pc1_fb, pc1);
+    // at_reset = pc == 0
+    let npc0 = nl.add_cell(CellKind::Inv, &[pc0], "npc0");
+    let npc1 = nl.add_cell(CellKind::Inv, &[pc1], "npc1");
+    let at_reset = nl.add_cell(CellKind::And2, &[npc0, npc1], "at_reset");
+    // boot_flag latches if instr != 0x13 while at the reset address.
+    let want = 0x13u32;
+    let mut diff_terms = Vec::new();
+    for (i, &b) in instr.iter().enumerate() {
+        let t = if want >> i & 1 == 1 {
+            nl.add_cell(CellKind::Inv, &[b], format!("dx{i}"))
+        } else {
+            b
+        };
+        diff_terms.push(t);
+    }
+    // any difference bit set?
+    let mut any = diff_terms[0];
+    for (i, &t) in diff_terms.iter().enumerate().skip(1) {
+        any = nl.add_cell(CellKind::Or2, &[any, t], format!("or{i}"));
+    }
+    let bad = nl.add_cell(CellKind::And2, &[any, at_reset], "bad");
+    let boot_fb = nl.add_net("boot_fb");
+    let boot_next = nl.add_cell(CellKind::Or2, &[boot_fb, bad], "boot_next");
+    let boot = nl.add_dff(boot_next, false, "boot");
+    nl.assign_alias(boot_fb, boot);
+    nl.add_output("boot", boot);
+    nl.add_output("pc0", pc0);
+    nl.add_output("pc1", pc1);
+    nl.validate().unwrap();
+
+    // Without the mapping, `boot` can be set: it survives.
+    let base = run_pdat(&nl, &Environment::Unconstrained, &fast_config());
+    assert!(base.optimized.dff_count >= 3, "boot latch must survive");
+
+    // With the reset-address word pinned, `boot` is provably stuck at 0.
+    let res = run_pdat_with(
+        &nl,
+        &Environment::Unconstrained,
+        &[ExtraRestriction::CodeAt {
+            addr: vec![pc0, pc1],
+            data: instr.clone(),
+            address: 0,
+            word: want,
+        }],
+        &fast_config(),
+    );
+    assert!(
+        res.optimized.dff_count < base.optimized.dff_count,
+        "boot latch removed under the code-at-reset mapping: {} vs {}",
+        res.optimized.dff_count,
+        base.optimized.dff_count
+    );
+}
+
+#[test]
+fn combined_isa_and_pin_restrictions_on_ibex() {
+    // ISA subset + a pinned data-bus nibble: restrictions compose.
+    let core = build_ibex();
+    let subset = RvSubset::rv32i();
+    let pins = core.data_rdata_in[28..32].to_vec();
+    let res = run_pdat_with(
+        &core.netlist,
+        &Environment::Rv {
+            subset: &subset,
+            ports: vec![core.cut_fetch.clone()],
+            mode: ConstraintMode::CutpointBased,
+        },
+        &[ExtraRestriction::PinnedInput {
+            nets: pins,
+            value: 0,
+        }],
+        &fast_config(),
+    );
+    let plain = run_pdat(
+        &core.netlist,
+        &Environment::Rv {
+            subset: &subset,
+            ports: vec![core.cut_fetch.clone()],
+            mode: ConstraintMode::CutpointBased,
+        },
+        &fast_config(),
+    );
+    assert!(
+        res.optimized.gate_count <= plain.optimized.gate_count,
+        "extra restriction can only help: {} vs {}",
+        res.optimized.gate_count,
+        plain.optimized.gate_count
+    );
+}
