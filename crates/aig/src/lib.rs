@@ -32,7 +32,7 @@ mod sim;
 pub use aig::{Aig, AigLit, AigNode, AigNodeId};
 pub use cnf::{Frame, FrameEncoder};
 pub use from_netlist::{netlist_to_aig, NetlistAig};
-pub use sim::AigSimulator;
+pub use sim::{AigSimulator, AigSimulatorWide, SIM_WIDTH};
 
 #[cfg(test)]
 mod cross_tests {

@@ -112,6 +112,7 @@ fn bench_constraint_mode(c: &mut Criterion) {
         conflict_budget: Some(10_000),
         max_iterations: 300,
         seed: 2,
+        ..Default::default()
     };
     let mut g = c.benchmark_group("ablation");
     g.sample_size(10);

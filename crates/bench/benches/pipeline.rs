@@ -80,6 +80,7 @@ fn bench_pipeline(c: &mut Criterion) {
         conflict_budget: Some(20_000),
         max_iterations: 500,
         seed: 1,
+        ..Default::default()
     };
     let mut g = c.benchmark_group("pipeline");
     g.sample_size(10);

@@ -56,4 +56,5 @@ mod constraint;
 mod pipeline;
 
 pub use constraint::{rv_constraint, thumb_constraint, ConstraintMode, InstrConstraint};
+pub use pdat_mc::{HoudiniStats, SimFilterStats};
 pub use pipeline::{run_pdat, run_pdat_with, Environment, ExtraRestriction, PdatConfig, PdatResult};

@@ -5,21 +5,30 @@ use crate::constraint::{rv_constraint, thumb_constraint, ConstraintMode, InstrCo
 use pdat_aig::{netlist_to_aig, AigLit, NetlistAig};
 use pdat_isa::{RvSubset, ThumbSubset};
 use pdat_mc::{
-    candidates_for_netlist, houdini_prove, simulate_filter, Candidate, CandidateKind,
-    HoudiniConfig, SimFilterConfig,
+    candidates_for_netlist, houdini_prove, simulate_filter_with_stats, Candidate, CandidateKind,
+    HoudiniConfig, HoudiniStats, SimFilterConfig, SimFilterStats,
 };
 use pdat_netlist::{Driver, NetId, Netlist, NetlistStats};
 use pdat_synth::resynthesize;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for a PDAT run.
 #[derive(Debug, Clone)]
 pub struct PdatConfig {
-    /// Simulated falsification cycles (64 lanes each).
+    /// Simulated falsification cycles per lane block (64 lanes each).
     pub sim_cycles: usize,
+    /// Independent 64-lane simulation blocks per falsification run. Part of
+    /// the deterministic result identity (together with `seed`).
+    pub lane_blocks: usize,
+    /// Worker threads for the falsification stage. Never changes results,
+    /// only wall time.
+    pub sim_threads: usize,
+    /// Restart a lane block from reset when fewer than this many lanes
+    /// still satisfy the environment constraint.
+    pub restart_threshold: u32,
     /// SAT conflict budget per induction query.
     pub conflict_budget: Option<u64>,
     /// Maximum Houdini iterations.
@@ -32,6 +41,9 @@ impl Default for PdatConfig {
     fn default() -> Self {
         PdatConfig {
             sim_cycles: 384,
+            lane_blocks: 4,
+            sim_threads: 4,
+            restart_threshold: 8,
             conflict_budget: Some(300_000),
             max_iterations: 10_000,
             seed: 0x9DA7,
@@ -58,6 +70,10 @@ pub struct PdatResult {
     pub proved: usize,
     /// Stage wall times: (annotate+sim, prove, rewire+resynth).
     pub stage_times: (Duration, Duration, Duration),
+    /// Falsification-stage counters (kills, restarts, wasted lanes, …).
+    pub sim_stats: SimFilterStats,
+    /// Proof-stage counters, including budget-dropped candidate indices.
+    pub houdini_stats: HoudiniStats,
 }
 
 impl PdatResult {
@@ -147,8 +163,6 @@ pub fn run_pdat_with(
     extras: &[ExtraRestriction],
     config: &PdatConfig,
 ) -> PdatResult {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-
     // Baseline: plain synthesis, no properties.
     let (baseline_nl, _) = resynthesize(netlist);
     let baseline = baseline_nl.stats();
@@ -183,28 +197,32 @@ pub fn run_pdat_with(
 
     // --- Falsify by constrained random simulation ---
     let constraints_ref = &instr_constraints;
-    let mut stim = move |rng: &mut StdRng, n: usize| -> Vec<u64> {
-        let mut words: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
-        for c in constraints_ref {
-            c.drive(rng, &mut words);
+    let stim = move |rng: &mut StdRng, words: &mut [u64]| {
+        for w in words.iter_mut() {
+            *w = rng.gen();
         }
-        words
+        for c in constraints_ref {
+            c.drive(rng, words);
+        }
     };
-    let survivors = simulate_filter(
+    let (survivors, sim_stats) = simulate_filter_with_stats(
         &na,
         constraint,
         &candidates,
         &SimFilterConfig {
             cycles: config.sim_cycles,
+            lane_blocks: config.lane_blocks,
+            threads: config.sim_threads,
+            restart_threshold: config.restart_threshold,
         },
-        &mut stim,
-        &mut rng,
+        &stim,
+        config.seed,
     );
     let n_survivors = survivors.len();
     let t1 = Instant::now();
 
     // --- Prove by mutual induction ---
-    let (proved, _stats) = houdini_prove(
+    let (proved, houdini_stats) = houdini_prove(
         &na.aig,
         constraint,
         &na,
@@ -233,6 +251,8 @@ pub fn run_pdat_with(
         sim_survivors: n_survivors,
         proved: proved.len(),
         stage_times: (t1 - t0, t2 - t1, t3 - t2),
+        sim_stats,
+        houdini_stats,
     }
 }
 

@@ -31,6 +31,13 @@ pub struct HoudiniStats {
     pub dropped: usize,
     /// Candidates dropped because of resource exhaustion.
     pub dropped_by_budget: usize,
+    /// Original candidate indices dropped by resource exhaustion, in drop
+    /// order. The alive set is kept sorted by candidate index, and budget
+    /// drops always discard the **upper half** (the highest, i.e.
+    /// latest-generated, indices), so this list is deterministic for a
+    /// given candidate sequence and budget — reruns drop the same
+    /// candidates.
+    pub dropped_candidates: Vec<usize>,
     /// SAT conflicts consumed.
     pub conflicts: u64,
 }
@@ -86,6 +93,7 @@ pub fn houdini_prove(
         stats.iterations += 1;
         if stats.iterations > config.max_iterations {
             stats.dropped_by_budget += alive.len();
+            stats.dropped_candidates.extend_from_slice(&alive);
             alive.clear();
             break;
         }
@@ -124,15 +132,20 @@ pub fn houdini_prove(
                     // Defensive: a model must falsify something; if not,
                     // stop rather than loop forever.
                     stats.dropped_by_budget += alive.len();
+                    stats.dropped_candidates.extend_from_slice(&alive);
                     alive.clear();
                     break;
                 }
             }
             SolveResult::Unknown => {
-                // Budget exhausted: drop half the candidates and retry.
+                // Budget exhausted: deterministically drop the upper half
+                // of the alive set (highest candidate indices — `alive`
+                // stays sorted ascending throughout) and retry on the
+                // cheaper remainder.
                 solver.add_clause(&[!act]);
                 let keep = alive.len() / 2;
                 stats.dropped_by_budget += alive.len() - keep;
+                stats.dropped_candidates.extend_from_slice(&alive[keep..]);
                 alive.truncate(keep);
                 if alive.is_empty() {
                     break;
@@ -245,6 +258,37 @@ mod tests {
     }
 
     #[test]
+    fn budget_drops_are_recorded_and_deterministic() {
+        // Several coupled candidates under a starvation budget: the Unknown
+        // path must fire, and the recorded drop list must be identical on a
+        // rerun and consistent with the aggregate counter.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let fb = nl.add_net("fb");
+        let q = nl.add_dff(fb, false, "q");
+        nl.assign_alias(fb, q);
+        let y = nl.add_cell(CellKind::And2, &[a, q], "y");
+        let z = nl.add_cell(CellKind::Or2, &[y, q], "z");
+        nl.add_output("z", z);
+        let na = netlist_to_aig(&nl, &[]);
+        let cands = candidates_for_netlist(&nl, &na);
+        let config = HoudiniConfig {
+            conflict_budget: Some(0),
+            max_iterations: 8,
+        };
+        let (proved1, stats1) = houdini_prove(&na.aig, AigLit::TRUE, &na, &cands, &config);
+        let (proved2, stats2) = houdini_prove(&na.aig, AigLit::TRUE, &na, &cands, &config);
+        assert_eq!(proved1, proved2, "budget drops must be deterministic");
+        assert_eq!(stats1.dropped_candidates, stats2.dropped_candidates);
+        assert_eq!(stats1.dropped_by_budget, stats1.dropped_candidates.len());
+        let mut sorted = stats1.dropped_candidates.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), stats1.dropped_candidates.len(), "no double drops");
+        assert!(sorted.iter().all(|&i| i < cands.len()));
+    }
+
+    #[test]
     fn budget_exhaustion_drops_not_wrong() {
         // A tiny budget can only reduce the proved set, never prove junk.
         let mut nl = Netlist::new("t");
@@ -258,14 +302,20 @@ mod tests {
         let cands = candidates_for_netlist(&nl, &na);
         // Honor the precondition: candidates must already hold on simulated
         // executions from reset (base case) before induction runs.
-        let mut rng = rand::SeedableRng::seed_from_u64(17);
         let survivors = crate::simulate_filter(
             &na,
             AigLit::TRUE,
             &cands,
-            &crate::SimFilterConfig { cycles: 128 },
-            &mut |r, n| (0..n).map(|_| rand::Rng::gen::<u64>(r)).collect(),
-            &mut rng,
+            &crate::SimFilterConfig {
+                cycles: 128,
+                ..Default::default()
+            },
+            &|r, words| {
+                for w in words {
+                    *w = rand::Rng::gen::<u64>(r);
+                }
+            },
+            17,
         );
         let (proved, _) = houdini_prove(
             &na.aig,

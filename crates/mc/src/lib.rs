@@ -27,15 +27,17 @@ mod sim_filter;
 
 pub use candidates::{candidates_for_netlist, Candidate, CandidateKind};
 pub use houdini::{houdini_prove, HoudiniConfig, HoudiniStats};
-pub use sim_filter::{simulate_filter, SimFilterConfig};
+pub use sim_filter::{
+    simulate_filter, simulate_filter_reference, simulate_filter_with_stats, SimFilterConfig,
+    SimFilterStats,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pdat_aig::{netlist_to_aig, AigLit};
     use pdat_netlist::{CellKind, Netlist};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::Rng;
 
     /// A design with a genuinely constant gate: a latch that never leaves
     /// its reset value drives an AND with a free input.
@@ -58,14 +60,17 @@ mod tests {
         assert!(!cands.is_empty());
 
         // Unconstrained environment: constraint = TRUE.
-        let mut rng = StdRng::seed_from_u64(7);
         let survivors = simulate_filter(
             &na,
             AigLit::TRUE,
             &cands,
             &SimFilterConfig::default(),
-            &mut |r, n| (0..n).map(|_| rand::Rng::gen::<u64>(r)).collect(),
-            &mut rng,
+            &|r, words| {
+                for w in words {
+                    *w = r.gen();
+                }
+            },
+            7,
         );
         // The true invariants must survive simulation.
         let has = |k: CandidateKind, net| survivors.iter().any(|c| c.net == net && c.kind == k);
@@ -103,14 +108,13 @@ mod tests {
         nl.add_output("q", q);
         let na = netlist_to_aig(&nl, &[]);
         let cands = candidates_for_netlist(&nl, &na);
-        let mut rng = StdRng::seed_from_u64(3);
         let survivors = simulate_filter(
             &na,
             AigLit::TRUE,
             &cands,
             &SimFilterConfig::default(),
-            &mut |_r, n| vec![0; n],
-            &mut rng,
+            &|_r, words| words.fill(0),
+            3,
         );
         assert!(
             !survivors.iter().any(|c| c.net == q
@@ -133,7 +137,6 @@ mod tests {
         let constraint = !a_lit; // a must be 0
 
         let cands = candidates_for_netlist(&nl, &na);
-        let mut rng = StdRng::seed_from_u64(11);
         // Stimulus respects the constraint: lane word for `a` is 0.
         let a_index = na
             .aig
@@ -146,12 +149,13 @@ mod tests {
             constraint,
             &cands,
             &SimFilterConfig::default(),
-            &mut move |r, n| {
-                let mut v: Vec<u64> = (0..n).map(|_| rand::Rng::gen(r)).collect();
-                v[a_index] = 0;
-                v
+            &move |r, words| {
+                for w in words.iter_mut() {
+                    *w = r.gen();
+                }
+                words[a_index] = 0;
             },
-            &mut rng,
+            11,
         );
         let (proved, _) = houdini_prove(
             &na.aig,

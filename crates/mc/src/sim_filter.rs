@@ -1,49 +1,407 @@
 //! Bit-parallel constrained random simulation for candidate falsification.
+//!
+//! The falsification engine simulates `lane_blocks` independent 64-lane
+//! trajectories and merges their per-candidate kill sets. Blocks are
+//! embarrassingly parallel: each derives its own RNG stream purely from
+//! `(seed, block_index)`, so the merged result is **identical for a given
+//! `(seed, lane_blocks)` regardless of `threads`** — kill-set union is
+//! commutative and stats merging is additive.
+//!
+//! Blocks are executed in fixed chunks of [`SIM_WIDTH`] on an
+//! [`AigSimulatorWide`]: one schedule sweep evaluates `SIM_WIDTH` blocks at
+//! once (amortizing the schedule stream and vectorizing the word ops), and
+//! a candidate killed by any block in the chunk stops being checked by the
+//! whole chunk — safe because the kill set is a union, so once a candidate
+//! is in it, further checks are redundant. Chunk boundaries depend only on
+//! `lane_blocks`, never on `threads`, which preserves thread-count
+//! invariance of both survivors and stats.
+//!
+//! Within a chunk, dead candidates cost zero: the alive set is one flat
+//! array sorted by target net, compacted in place on kill, so each cycle
+//! touches one wide target read per *live* net and a handful of branch-free
+//! mask ops per *live* candidate. A per-block lane-viability threshold
+//! restarts a block's trajectory from reset when too few of its lanes still
+//! satisfy the environment constraint.
 
 use crate::candidates::{Candidate, CandidateKind};
-use pdat_aig::{AigLit, AigSimulator, NetlistAig};
+use pdat_aig::{AigLit, AigSimulator, AigSimulatorWide, NetlistAig, SIM_WIDTH};
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Knobs for the falsification pass.
 #[derive(Debug, Clone)]
 pub struct SimFilterConfig {
-    /// Number of simulated cycles (each cycle carries 64 parallel lanes).
+    /// Simulated cycles per lane block (each cycle carries 64 parallel
+    /// lanes, so total evidence is `cycles * 64 * lane_blocks` lane-cycles).
     pub cycles: usize,
+    /// Independent 64-lane simulation blocks, each with its own RNG stream
+    /// derived from the master seed. Part of the result's identity: changing
+    /// it changes which candidates get falsified.
+    pub lane_blocks: usize,
+    /// Worker threads to spread block chunks over. **Not** part of the
+    /// result's identity: any value yields bit-identical survivors and
+    /// stats. Parallelism granularity is one chunk of [`SIM_WIDTH`] blocks,
+    /// so full thread utilization needs `lane_blocks >= SIM_WIDTH * threads`.
+    pub threads: usize,
+    /// Restart a block from reset when fewer than this many of its 64 lanes
+    /// still satisfy the constraint (sticky mask). `1` restores the legacy
+    /// restart-only-at-zero behaviour; `0` disables restarts entirely.
+    pub restart_threshold: u32,
 }
 
 impl Default for SimFilterConfig {
     fn default() -> Self {
-        SimFilterConfig { cycles: 512 }
+        SimFilterConfig {
+            cycles: 512,
+            lane_blocks: 4,
+            threads: 4,
+            restart_threshold: 8,
+        }
+    }
+}
+
+/// Counters from one falsification run (summed over all lane blocks).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimFilterStats {
+    /// Live-candidate checks performed (candidate × chunk-cycle; one check
+    /// covers every block in the chunk at once).
+    pub candidate_cycles: u64,
+    /// Candidates falsified (counted once; unresolvable candidates killed
+    /// up front are included).
+    pub kills: u64,
+    /// Block trajectory restarts triggered by the lane-viability threshold.
+    pub restarts: u64,
+    /// Lane-cycles that contributed no evidence because the sticky
+    /// constraint mask had zeroed the lane.
+    pub wasted_lane_cycles: u64,
+    /// Total cycles simulated across all blocks.
+    pub cycles: u64,
+    /// Lane blocks simulated.
+    pub lane_blocks: u64,
+}
+
+impl SimFilterStats {
+    /// Kills per thousand simulated cycles — the headline falsification
+    /// throughput figure.
+    pub fn kills_per_kilocycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.kills as f64 * 1000.0 / self.cycles as f64
+        }
+    }
+
+    fn absorb(&mut self, other: &SimFilterStats) {
+        self.candidate_cycles += other.candidate_cycles;
+        self.kills += other.kills;
+        self.restarts += other.restarts;
+        self.wasted_lane_cycles += other.wasted_lane_cycles;
+        self.cycles += other.cycles;
+        self.lane_blocks += other.lane_blocks;
+    }
+}
+
+/// What a live candidate asserts about its (already resolved) target word
+/// (used by the sequential reference scan).
+#[derive(Clone, Copy)]
+enum KindLit {
+    Const(bool),
+    Equal(AigLit),
+}
+
+/// A live candidate in the compacted engine, as a uniform check:
+/// the candidate is violated in lanes where `lit(target) ^ lit(other)` is
+/// set. `ConstFalse` encodes `other` as the constant-0 literal, `ConstTrue`
+/// as the constant-1 literal, `EqualNet` as the other net's literal — one
+/// branch-free form for all three property kinds.
+#[derive(Clone, Copy)]
+struct Member {
+    target: u32,
+    other: u32,
+    cand: u32,
+}
+
+/// Candidates resolved against the netlist→AIG map. `members` is sorted by
+/// target literal so consecutive entries share one target read; `prekilled`
+/// lists candidates whose nets have no AIG literal.
+struct ResolvedCandidates {
+    members: Vec<Member>,
+    prekilled: Vec<u32>,
+}
+
+fn resolve_candidates(na: &NetlistAig, candidates: &[Candidate]) -> ResolvedCandidates {
+    let mut members = Vec::with_capacity(candidates.len());
+    let mut prekilled = Vec::new();
+    for (i, c) in candidates.iter().enumerate() {
+        let target = na.net_lit.get(&c.net).copied();
+        let other = match c.kind {
+            CandidateKind::ConstFalse => Some(AigLit::FALSE),
+            CandidateKind::ConstTrue => Some(AigLit::TRUE),
+            CandidateKind::EqualNet(other) => na.net_lit.get(&other).copied(),
+        };
+        match (target, other) {
+            (Some(target), Some(other)) => members.push(Member {
+                target: target.code(),
+                other: other.code(),
+                cand: i as u32,
+            }),
+            _ => prekilled.push(i as u32),
+        }
+    }
+    members.sort_unstable_by_key(|m| (m.target, m.cand));
+    ResolvedCandidates { members, prekilled }
+}
+
+/// Deterministic RNG seed for one lane block: depends only on the master
+/// seed and the block index, never on scheduling.
+fn block_seed(seed: u64, block: u64) -> u64 {
+    let mut s = block.wrapping_add(0x6A09_E667_F3BC_C909);
+    seed ^ rand::splitmix64(&mut s)
+}
+
+/// Simulate one chunk of up to [`SIM_WIDTH`] lane blocks (blocks
+/// `chunk_base .. chunk_base + real`); sets kill bits and accumulates
+/// stats. Words `real..SIM_WIDTH` are padding: their `scan_ok` mask stays
+/// zero forever, so they can neither kill nor count.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk(
+    proto: &AigSimulatorWide<'_>,
+    constraint: AigLit,
+    template: &[Member],
+    config: &SimFilterConfig,
+    stimulus: &(dyn Fn(&mut StdRng, &mut [u64]) + Sync),
+    seed: u64,
+    chunk_base: u64,
+    real: usize,
+    killed: &mut [u64],
+    stats: &mut SimFilterStats,
+) {
+    let mut sim = proto.clone();
+    sim.reset();
+    // Per-chunk alive set: one flat, target-sorted array, compacted in
+    // place on kill — dead candidates cost zero on every later cycle, in
+    // every block of the chunk.
+    let mut live: Vec<Member> = template.to_vec();
+    let mut rngs: Vec<StdRng> = (0..real)
+        .map(|w| StdRng::seed_from_u64(block_seed(seed, chunk_base + w as u64)))
+        .collect();
+    let n_inputs = sim.aig().inputs().len();
+    let mut scratch = vec![0u64; n_inputs];
+    let mut inputs = vec![[0u64; SIM_WIDTH]; n_inputs];
+    stats.lane_blocks += real as u64;
+
+    // Sticky per-block constraint masks; padding words stay dead (zero).
+    let mut lane_ok = [0u64; SIM_WIDTH];
+    for m in lane_ok.iter_mut().take(real) {
+        *m = u64::MAX;
+    }
+    for _cycle in 0..config.cycles {
+        if live.is_empty() {
+            break;
+        }
+        for w in 0..real {
+            stimulus(&mut rngs[w], &mut scratch);
+            for (inp, &s) in inputs.iter_mut().zip(&scratch) {
+                inp[w] = s;
+            }
+        }
+        sim.eval(&inputs);
+        let cons = sim.lit_words(constraint);
+        // Per-block masks the sweep may use this cycle: zero for blocks
+        // that restart (their value words this cycle don't count as
+        // constraint-satisfying evidence).
+        let mut scan_ok = [0u64; SIM_WIDTH];
+        let mut restart = [false; SIM_WIDTH];
+        for w in 0..real {
+            lane_ok[w] &= cons[w];
+            stats.cycles += 1;
+            stats.wasted_lane_cycles += u64::from(64 - lane_ok[w].count_ones());
+            if lane_ok[w].count_ones() < config.restart_threshold {
+                // Too few constraint-satisfying lanes left in this block:
+                // restart its trajectory from reset with fresh lanes
+                // (consumes the cycle). The actual state reset happens
+                // after the clock edge below, so `step` cannot clobber it.
+                restart[w] = true;
+                lane_ok[w] = u64::MAX;
+                stats.restarts += 1;
+            } else {
+                scan_ok[w] = lane_ok[w];
+            }
+        }
+        if scan_ok != [0u64; SIM_WIDTH] {
+            stats.candidate_cycles += live.len() as u64;
+            // Compacting sweep: surviving members shift down over killed
+            // ones; target-sortedness is preserved, so each distinct target
+            // net is read once per cycle (per-net evaluation sharing).
+            let mut last_target = u32::MAX;
+            let mut got = [0u64; SIM_WIDTH];
+            let mut w = 0;
+            for r in 0..live.len() {
+                let m = live[r];
+                if m.target != last_target {
+                    last_target = m.target;
+                    got = sim.lit_words(AigLit::from_code(m.target));
+                }
+                let o = sim.lit_words(AigLit::from_code(m.other));
+                let mut viol = 0u64;
+                for k in 0..SIM_WIDTH {
+                    viol |= (got[k] ^ o[k]) & scan_ok[k];
+                }
+                if viol != 0 {
+                    killed[m.cand as usize / 64] |= 1u64 << (m.cand % 64);
+                } else {
+                    if w != r {
+                        live[w] = m;
+                    }
+                    w += 1;
+                }
+            }
+            live.truncate(w);
+        }
+        sim.step();
+        for w in 0..real {
+            if restart[w] {
+                sim.reset_word(w);
+            }
+        }
     }
 }
 
 /// Run constrained random simulation and drop every candidate that is
 /// falsified in any lane of any cycle where the environment constraint held
-/// continuously since reset.
+/// continuously since the block's last reset, returning survivors and
+/// run counters.
 ///
-/// `stimulus(rng, n)` must return one 64-lane word per AIG input (length
-/// `n`), already respecting the environment's input constraints as well as
-/// it can; `constraint` is additionally monitored, and lanes where it ever
-/// goes low stop contributing evidence (a sticky per-lane mask) — their
-/// later behaviour can neither kill nor save a candidate.
+/// `stimulus(rng, words)` must overwrite every word with one 64-lane
+/// stimulus word per AIG input, already respecting the environment's input
+/// constraints as well as it can; `constraint` is additionally monitored,
+/// and lanes where it ever goes low stop contributing evidence (a sticky
+/// per-lane mask) — their later behaviour can neither kill nor save a
+/// candidate.
+///
+/// Determinism: survivors and stats depend only on
+/// `(seed, config.cycles, config.lane_blocks, config.restart_threshold)`;
+/// `config.threads` never changes the result.
+pub fn simulate_filter_with_stats(
+    na: &NetlistAig,
+    constraint: AigLit,
+    candidates: &[Candidate],
+    config: &SimFilterConfig,
+    stimulus: &(dyn Fn(&mut StdRng, &mut [u64]) + Sync),
+    seed: u64,
+) -> (Vec<Candidate>, SimFilterStats) {
+    let resolved = resolve_candidates(na, candidates);
+    let words = candidates.len().div_ceil(64);
+    let mut killed = vec![0u64; words];
+    let mut stats = SimFilterStats::default();
+    for &i in &resolved.prekilled {
+        killed[i as usize / 64] |= 1u64 << (i % 64);
+    }
+
+    let proto = AigSimulatorWide::new(&na.aig);
+    let blocks = config.lane_blocks.max(1);
+    let chunks = blocks.div_ceil(SIM_WIDTH);
+    let threads = config.threads.max(1).min(chunks);
+
+    if threads == 1 {
+        for chunk in 0..chunks {
+            let base = chunk * SIM_WIDTH;
+            run_chunk(
+                &proto,
+                constraint,
+                &resolved.members,
+                config,
+                stimulus,
+                seed,
+                base as u64,
+                SIM_WIDTH.min(blocks - base),
+                &mut killed,
+                &mut stats,
+            );
+        }
+    } else {
+        let mut partials: Vec<(Vec<u64>, SimFilterStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let proto = &proto;
+                    let members = &resolved.members;
+                    scope.spawn(move || {
+                        let mut killed = vec![0u64; words];
+                        let mut stats = SimFilterStats::default();
+                        let mut chunk = t;
+                        while chunk < chunks {
+                            let base = chunk * SIM_WIDTH;
+                            run_chunk(
+                                proto,
+                                constraint,
+                                members,
+                                config,
+                                stimulus,
+                                seed,
+                                base as u64,
+                                SIM_WIDTH.min(blocks - base),
+                                &mut killed,
+                                &mut stats,
+                            );
+                            chunk += threads;
+                        }
+                        (killed, stats)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Barrier merge: OR the kill sets, sum the counters. Both are
+        // order-insensitive, which is what makes `threads` irrelevant to
+        // the result.
+        for (bits, s) in partials.drain(..) {
+            for (dst, src) in killed.iter_mut().zip(&bits) {
+                *dst |= src;
+            }
+            stats.absorb(&s);
+        }
+    }
+
+    stats.kills = killed.iter().map(|w| w.count_ones() as u64).sum();
+    let survivors = candidates
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| killed[i / 64] & (1u64 << (i % 64)) == 0)
+        .map(|(_, c)| *c)
+        .collect();
+    (survivors, stats)
+}
+
+/// [`simulate_filter_with_stats`] without the counters.
 pub fn simulate_filter(
     na: &NetlistAig,
     constraint: AigLit,
     candidates: &[Candidate],
     config: &SimFilterConfig,
-    stimulus: &mut dyn FnMut(&mut StdRng, usize) -> Vec<u64>,
-    rng: &mut StdRng,
+    stimulus: &(dyn Fn(&mut StdRng, &mut [u64]) + Sync),
+    seed: u64,
 ) -> Vec<Candidate> {
-    let aig = &na.aig;
-    let mut sim = AigSimulator::new(aig);
-    let n_inputs = aig.inputs().len();
-    let mut alive = vec![true; candidates.len()];
+    simulate_filter_with_stats(na, constraint, candidates, config, stimulus, seed).0
+}
 
-    #[derive(Clone, Copy)]
-    enum KindLit {
-        Const(bool),
-        Equal(AigLit),
-    }
+/// Reference implementation: single-threaded, uncompacted per-candidate
+/// scan over scalar simulators with the exact same chunk/RNG/restart
+/// semantics. Exists as (a) the oracle the wide engine is property-tested
+/// against and (b) a baseline the throughput benchmark measures speedup
+/// over. Must produce bit-identical survivors and stats to
+/// [`simulate_filter_with_stats`].
+pub fn simulate_filter_reference(
+    na: &NetlistAig,
+    constraint: AigLit,
+    candidates: &[Candidate],
+    config: &SimFilterConfig,
+    stimulus: &(dyn Fn(&mut StdRng, &mut [u64]) + Sync),
+    seed: u64,
+) -> (Vec<Candidate>, SimFilterStats) {
+    let aig = &na.aig;
+    let n_inputs = aig.inputs().len();
+    let mut stats = SimFilterStats::default();
+
     let resolved: Vec<Option<(AigLit, KindLit)>> = candidates
         .iter()
         .map(|c| {
@@ -58,49 +416,86 @@ pub fn simulate_filter(
             Some((target, kind))
         })
         .collect();
+    // Global kill set (union over chunks); each chunk scans from a fresh
+    // alive vector shared by its blocks, mirroring the wide engine's
+    // chunk-grouped semantics exactly (including its stats).
+    let mut killed: Vec<bool> = resolved.iter().map(|r| r.is_none()).collect();
 
-    // Sticky per-lane constraint mask: a lane contributes while the
-    // constraint has held on every cycle so far.
-    let mut lane_ok = u64::MAX;
-    for _cycle in 0..config.cycles {
-        let inputs = stimulus(rng, n_inputs);
-        sim.eval(&inputs);
-        let cons = sim.lit_word(constraint);
-        lane_ok &= cons;
-        if lane_ok == 0 {
-            // Every lane violated the constraint at some point: restart
-            // from reset with fresh lanes.
-            sim.reset();
-            lane_ok = u64::MAX;
-            continue;
-        }
-        for (i, r) in resolved.iter().enumerate() {
-            if !alive[i] {
-                continue;
+    let blocks = config.lane_blocks.max(1);
+    for base in (0..blocks).step_by(SIM_WIDTH) {
+        let real = SIM_WIDTH.min(blocks - base);
+        let mut sims: Vec<AigSimulator> = (0..real).map(|_| AigSimulator::new(aig)).collect();
+        let mut rngs: Vec<StdRng> = (0..real)
+            .map(|w| StdRng::seed_from_u64(block_seed(seed, (base + w) as u64)))
+            .collect();
+        let mut inputs = vec![0u64; n_inputs];
+        let mut alive: Vec<bool> = resolved.iter().map(|r| r.is_some()).collect();
+        stats.lane_blocks += real as u64;
+        let mut lane_ok = vec![u64::MAX; real];
+        let mut scan_ok = vec![0u64; real];
+        let mut restart = vec![false; real];
+        for _cycle in 0..config.cycles {
+            if !alive.iter().any(|&a| a) {
+                break;
             }
-            let Some((target, kind)) = r else {
-                alive[i] = false;
-                continue;
-            };
-            let got = sim.lit_word(*target);
-            let bad = match kind {
-                KindLit::Const(false) => got,
-                KindLit::Const(true) => !got,
-                KindLit::Equal(l) => got ^ sim.lit_word(*l),
-            };
-            if bad & lane_ok != 0 {
-                alive[i] = false;
+            for w in 0..real {
+                stimulus(&mut rngs[w], &mut inputs);
+                sims[w].eval(&inputs);
+                lane_ok[w] &= sims[w].lit_word(constraint);
+                stats.cycles += 1;
+                stats.wasted_lane_cycles += u64::from(64 - lane_ok[w].count_ones());
+                if lane_ok[w].count_ones() < config.restart_threshold {
+                    restart[w] = true;
+                    lane_ok[w] = u64::MAX;
+                    stats.restarts += 1;
+                    scan_ok[w] = 0;
+                } else {
+                    restart[w] = false;
+                    scan_ok[w] = lane_ok[w];
+                }
+            }
+            if scan_ok.iter().any(|&m| m != 0) {
+                for (i, r) in resolved.iter().enumerate() {
+                    if !alive[i] {
+                        continue;
+                    }
+                    let (target, kind) = r.expect("dead candidates filtered above");
+                    stats.candidate_cycles += 1;
+                    let mut viol = 0u64;
+                    for w in 0..real {
+                        let got = sims[w].lit_word(target);
+                        let bad = match kind {
+                            KindLit::Const(false) => got,
+                            KindLit::Const(true) => !got,
+                            KindLit::Equal(l) => got ^ sims[w].lit_word(l),
+                        };
+                        viol |= bad & scan_ok[w];
+                    }
+                    if viol != 0 {
+                        alive[i] = false;
+                        killed[i] = true;
+                    }
+                }
+            }
+            for s in &mut sims {
+                s.step();
+            }
+            for w in 0..real {
+                if restart[w] {
+                    sims[w].reset();
+                }
             }
         }
-        sim.step();
     }
 
-    candidates
+    stats.kills = killed.iter().filter(|&&k| k).count() as u64;
+    let survivors = candidates
         .iter()
-        .zip(&alive)
-        .filter(|(_, &a)| a)
+        .zip(&killed)
+        .filter(|(_, &k)| !k)
         .map(|(c, _)| *c)
-        .collect()
+        .collect();
+    (survivors, stats)
 }
 
 #[cfg(test)]
@@ -108,7 +503,13 @@ mod tests {
     use super::*;
     use pdat_aig::netlist_to_aig;
     use pdat_netlist::{CellKind, Netlist};
-    use rand::SeedableRng;
+    use rand::Rng;
+
+    fn random_stimulus(r: &mut StdRng, words: &mut [u64]) {
+        for w in words {
+            *w = r.gen();
+        }
+    }
 
     #[test]
     fn kills_noisy_keeps_constant() {
@@ -120,14 +521,16 @@ mod tests {
         nl.add_output("noisy", noisy);
         let conv = netlist_to_aig(&nl, &[]);
         let cands = crate::candidates_for_netlist(&nl, &conv);
-        let mut rng = StdRng::seed_from_u64(1);
         let alive = simulate_filter(
             &conv,
             AigLit::TRUE,
             &cands,
-            &SimFilterConfig { cycles: 64 },
-            &mut |r, n| (0..n).map(|_| rand::Rng::gen::<u64>(r)).collect(),
-            &mut rng,
+            &SimFilterConfig {
+                cycles: 64,
+                ..Default::default()
+            },
+            &random_stimulus,
+            1,
         );
         assert!(alive.contains(&Candidate {
             net: never,
@@ -157,16 +560,126 @@ mod tests {
             net: y,
             kind: CandidateKind::ConstTrue,
         }];
-        let mut rng = StdRng::seed_from_u64(5);
         let alive = simulate_filter(
             &conv,
             constraint,
             &cands,
-            &SimFilterConfig { cycles: 32 },
+            &SimFilterConfig {
+                cycles: 32,
+                ..Default::default()
+            },
             // Half the lanes violate the constraint.
-            &mut |_r, n| vec![0xAAAA_AAAA_AAAA_AAAA; n],
-            &mut rng,
+            &|_r, words| words.fill(0xAAAA_AAAA_AAAA_AAAA),
+            5,
         );
         assert_eq!(alive.len(), 1, "y==1 survives in constraint-satisfying lanes");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_cell(CellKind::Xor2, &[a, b], "x");
+        let y = nl.add_cell(CellKind::And2, &[a, x], "y");
+        let z = nl.add_cell(CellKind::Or2, &[y, b], "z");
+        nl.add_output("z", z);
+        let conv = netlist_to_aig(&nl, &[]);
+        let cands = crate::candidates_for_netlist(&nl, &conv);
+        let mut previous: Option<(Vec<Candidate>, SimFilterStats)> = None;
+        // 9 blocks = 3 chunks, so 2 threads get uneven work and 7 threads
+        // cap at the chunk count.
+        for threads in [1, 2, 4, 7] {
+            let got = simulate_filter_with_stats(
+                &conv,
+                AigLit::TRUE,
+                &cands,
+                &SimFilterConfig {
+                    cycles: 48,
+                    lane_blocks: 9,
+                    threads,
+                    restart_threshold: 8,
+                },
+                &random_stimulus,
+                0xBEEF,
+            );
+            if let Some(prev) = &previous {
+                assert_eq!(prev, &got, "threads={threads} changed the result");
+            }
+            previous = Some(got);
+        }
+    }
+
+    #[test]
+    fn matches_reference_implementation() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let n1 = nl.add_cell(CellKind::Nand2, &[a, b], "n1");
+        let n2 = nl.add_cell(CellKind::Xor2, &[n1, a], "n2");
+        let n3 = nl.add_cell(CellKind::Inv, &[n2], "n3");
+        nl.add_output("n3", n3);
+        let conv = netlist_to_aig(&nl, &[]);
+        let cands = crate::candidates_for_netlist(&nl, &conv);
+        // 6 blocks: one full chunk plus a partial (padded) one.
+        let config = SimFilterConfig {
+            cycles: 64,
+            lane_blocks: 6,
+            threads: 4,
+            restart_threshold: 8,
+        };
+        let fast =
+            simulate_filter_with_stats(&conv, AigLit::TRUE, &cands, &config, &random_stimulus, 77);
+        let slow =
+            simulate_filter_reference(&conv, AigLit::TRUE, &cands, &config, &random_stimulus, 77);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn restart_threshold_triggers_and_counts() {
+        // Constraint = a; stimulus drives a low in most lanes so the sticky
+        // mask decays below the threshold and forces restarts.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_cell(CellKind::Buf, &[a], "y");
+        nl.add_output("y", y);
+        let conv = netlist_to_aig(&nl, &[]);
+        let constraint = conv.input_lit[&a];
+        let cands = vec![Candidate {
+            net: y,
+            kind: CandidateKind::ConstTrue,
+        }];
+        let config = SimFilterConfig {
+            cycles: 40,
+            lane_blocks: 1,
+            threads: 1,
+            restart_threshold: 8,
+        };
+        let (alive, stats) = simulate_filter_with_stats(
+            &conv,
+            constraint,
+            &cands,
+            &config,
+            // Only 4 lanes ever satisfy the constraint: always below the
+            // threshold of 8, so every cycle restarts.
+            &|_r, words| words.fill(0xF),
+            9,
+        );
+        assert_eq!(stats.restarts, 40, "every cycle should restart");
+        assert_eq!(alive.len(), 1, "no evidence was collected, so no kill");
+        // With the threshold disabled the same stimulus collects evidence.
+        let (_, stats0) = simulate_filter_with_stats(
+            &conv,
+            constraint,
+            &cands,
+            &SimFilterConfig {
+                restart_threshold: 0,
+                ..config
+            },
+            &|_r, words| words.fill(0xF),
+            9,
+        );
+        assert_eq!(stats0.restarts, 0);
+        assert!(stats0.candidate_cycles > 0);
     }
 }

@@ -8,12 +8,11 @@
 
 use pdat_aig::{netlist_to_aig, AigLit};
 use pdat_mc::{
-    candidates_for_netlist, houdini_prove, simulate_filter, Candidate, CandidateKind,
-    HoudiniConfig, SimFilterConfig,
+    candidates_for_netlist, houdini_prove, simulate_filter, simulate_filter_reference,
+    simulate_filter_with_stats, Candidate, CandidateKind, HoudiniConfig, SimFilterConfig,
 };
 use pdat_netlist::{CellKind, NetId, Netlist, Simulator};
 use proptest::prelude::*;
-use rand::SeedableRng;
 use std::collections::HashSet;
 
 const N_INPUTS: usize = 3;
@@ -100,14 +99,20 @@ proptest! {
         nl.validate().unwrap();
         let na = netlist_to_aig(&nl, &[]);
         let cands = candidates_for_netlist(&nl, &na);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0xFEED);
         let survivors = simulate_filter(
             &na,
             AigLit::TRUE,
             &cands,
-            &SimFilterConfig { cycles: 96 },
-            &mut |r, n| (0..n).map(|_| rand::Rng::gen::<u64>(r)).collect(),
-            &mut rng,
+            &SimFilterConfig {
+                cycles: 96,
+                ..Default::default()
+            },
+            &|r, words| {
+                for w in words {
+                    *w = rand::Rng::gen::<u64>(r);
+                }
+            },
+            0xFEED,
         );
         let (proved, _) = houdini_prove(
             &na.aig,
@@ -126,5 +131,39 @@ proptest! {
                 cand
             );
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The parallel, compacted engine must produce bit-identical survivors
+    /// and stats to the naive sequential reference scan, for any netlist,
+    /// seed, lane-block count, and thread count.
+    #[test]
+    fn parallel_filter_matches_sequential_reference(
+        recipe in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>(), any::<bool>()), 2..28),
+        seed in any::<u64>(),
+        lane_blocks in 1usize..6,
+        threads in 1usize..6,
+        restart_threshold in 0u32..12,
+    ) {
+        let nl = build_netlist(&recipe);
+        nl.validate().unwrap();
+        let na = netlist_to_aig(&nl, &[]);
+        let cands = candidates_for_netlist(&nl, &na);
+        // Constrain on one input being high so the sticky mask and restart
+        // logic are exercised, not just the TRUE fast path.
+        let constraint = na.input_lit[&nl.inputs()[0]];
+        let config = SimFilterConfig { cycles: 48, lane_blocks, threads, restart_threshold };
+        let stimulus = |r: &mut rand::rngs::StdRng, words: &mut [u64]| {
+            for w in words {
+                *w = rand::Rng::gen::<u64>(r);
+            }
+        };
+        let fast = simulate_filter_with_stats(&na, constraint, &cands, &config, &stimulus, seed);
+        let slow = simulate_filter_reference(&na, constraint, &cands, &config, &stimulus, seed);
+        prop_assert_eq!(&fast.0, &slow.0, "survivor sets diverge");
+        prop_assert_eq!(&fast.1, &slow.1, "stats diverge");
     }
 }

@@ -760,7 +760,7 @@ mod tests {
 
     #[test]
     fn preserves_behaviour_on_mixed_design() {
-        let mut b = pdat_rtl_test_design();
+        let b = pdat_rtl_test_design();
         let (opt, report) = resynthesize(&b);
         assert!(report.cells_after <= report.cells_before);
         opt.validate().unwrap();

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Fast smoke target (no cargo-bench, no criterion): builds the throughput
+# harness in release and runs a single-rep falsification benchmark,
+# asserting at runtime that all three engines (seed-style, chunked
+# reference, wide parallel at 1/2/4 threads) produce identical survivor
+# sets. Writes target/BENCH_SMOKE.json; the checked-in BENCH_PR1.json is
+# regenerated with the same binary without --smoke.
+set -eu
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+cargo build --release -q -p pdat-bench --bin falsify_throughput
+./target/release/falsify_throughput --smoke target/BENCH_SMOKE.json

@@ -15,6 +15,7 @@ fn fast_config() -> PdatConfig {
         conflict_budget: Some(40_000),
         max_iterations: 1_000,
         seed: 0xE17A,
+        ..Default::default()
     }
 }
 

@@ -18,6 +18,7 @@ fn fast_config() -> PdatConfig {
         conflict_budget: Some(60_000),
         max_iterations: 2_000,
         seed: 0x51DE,
+        ..Default::default()
     }
 }
 

@@ -15,6 +15,7 @@ fn fast_config() -> PdatConfig {
         conflict_budget: Some(60_000),
         max_iterations: 2_000,
         seed: 0xA0A0,
+        ..Default::default()
     }
 }
 

@@ -1,0 +1,176 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset this repository's benches use: `Criterion`,
+//! `bench_function`, `benchmark_group` (+ `sample_size`, `finish`),
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros.
+//! No HTML reports, no statistical machinery: each bench runs a short
+//! calibration pass, then `samples` timed batches, and prints
+//! median / mean ns-per-iteration to stdout in a stable, greppable format.
+//!
+//! Passing `--bench-quick` (or setting `CRITERION_QUICK=1`) runs every
+//! closure exactly once — the CI smoke mode.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing driver handed to bench closures.
+pub struct Bencher {
+    /// Iterations per timed batch.
+    iters: u64,
+    /// Collected batch durations.
+    samples: Vec<Duration>,
+    quick: bool,
+}
+
+impl Bencher {
+    /// Time `f`, repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.quick {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t.elapsed());
+            self.iters = 1;
+            return;
+        }
+        let t = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.samples.push(t.elapsed());
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--bench-quick" || a == "--test")
+        || std::env::var_os("CRITERION_QUICK").is_some()
+}
+
+fn run_one(name: &str, sample_count: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let quick = quick_mode();
+    // Calibration: one iteration to size batches to roughly 100ms.
+    let mut b = Bencher { iters: 1, samples: Vec::new(), quick };
+    f(&mut b);
+    if quick {
+        let ns = b.samples[0].as_nanos();
+        println!("bench {name}: {ns} ns/iter (quick mode, 1 sample)");
+        return;
+    }
+    let once = b.samples[0].max(Duration::from_nanos(1));
+    let iters = (Duration::from_millis(100).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+    let mut b = Bencher { iters, samples: Vec::new(), quick };
+    for _ in 0..sample_count {
+        f(&mut b);
+    }
+    let mut per_iter: Vec<u128> = b
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() / b.iters as u128)
+        .collect();
+    per_iter.sort_unstable();
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<u128>() / per_iter.len() as u128;
+    println!(
+        "bench {name}: median {median} ns/iter, mean {mean} ns/iter \
+         ({} samples x {} iters)",
+        per_iter.len(),
+        b.iters
+    );
+}
+
+/// Top-level bench driver (used subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named group with its own sample size.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Register and immediately run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export matching upstream's path for bench code that uses it.
+pub use std::hint::black_box;
+
+/// Bundle bench functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut hits = 0u32;
+        c.bench_function("smoke/add", |b| b.iter(|| 1u64 + 2));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("inner", |b| {
+            b.iter(|| {
+                hits += 1;
+                hits
+            })
+        });
+        g.finish();
+        assert!(hits >= 1);
+    }
+}

@@ -1,0 +1,374 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Covers the subset this repository's property tests use: the `proptest!`
+//! macro (with `#![proptest_config(...)]`), `any::<T>()` for primitives,
+//! integer-range strategies, tuple strategies, `prop::collection::vec`,
+//! `Just`, and the `prop_assert!` / `prop_assert_eq!` / `prop_assume!`
+//! macros.
+//!
+//! Differences from upstream: no shrinking (a failing case is reported
+//! as-is with its `Debug` form) and no persistence of regression files —
+//! case generation is deterministic per test body, so failures reproduce
+//! by rerunning the test.
+
+use rand::rngs::StdRng;
+
+/// Runner configuration (used subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+/// A value generator (used subset of `proptest::strategy::Strategy`;
+/// sampling only, no shrink tree).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `any::<T>()` — uniform over the whole domain of `T`.
+pub fn any<T: rand::StandardSample>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: rand::StandardSample> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rand::Rng::gen(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Element-count specification for [`vec`]: a fixed size or a
+    /// half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "vec size range is empty");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a sampled length.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rand::Rng::gen_range(rng, self.size.lo..self.size.hi);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    pub use super::{ProptestConfig, TestCaseError};
+    use super::Strategy;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Drive `body` over `cfg.cases` accepted samples of `strategy`.
+    ///
+    /// Case generation is seeded from the test name so every test draws an
+    /// independent, reproducible stream.
+    pub fn run<S>(
+        test_name: &str,
+        cfg: &ProptestConfig,
+        strategy: &S,
+        body: impl Fn(S::Value) -> Result<(), TestCaseError>,
+    ) where
+        S: Strategy,
+        S::Value: std::fmt::Debug,
+    {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the test name
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut rng = StdRng::seed_from_u64(h);
+        let mut accepted = 0u32;
+        let mut rejected = 0u64;
+        let reject_limit = cfg.cases as u64 * 32 + 4096;
+        while accepted < cfg.cases {
+            let value = strategy.sample(&mut rng);
+            let shown = format!("{value:?}");
+            match body(value) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= reject_limit,
+                        "{test_name}: prop_assume! rejected {rejected} cases \
+                         (limit {reject_limit}); strategy too narrow"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "{test_name}: property failed after {accepted} passing cases\n\
+                         input: {shown}\n{msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::{any, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// The used subset of the upstream `proptest!` macro: an optional
+/// `#![proptest_config(...)]` header followed by `#[test] fn` items whose
+/// arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            let __strategy = ($($strat,)+);
+            $crate::test_runner::run(
+                stringify!($name),
+                &__cfg,
+                &__strategy,
+                |($($arg,)+)| {
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body; ::std::result::Result::Ok(()) })();
+                    __result
+                },
+            );
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, y in -10i32..=10) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-10..=10).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_respected(
+            v in prop::collection::vec(any::<u8>(), 2..5),
+            w in prop::collection::vec((any::<u8>(), any::<bool>()), 7),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert_eq!(w.len(), 7);
+        }
+
+        #[test]
+        fn assume_skips(x in any::<u8>()) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0, "assume must filter odd values");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics_with_input() {
+        crate::test_runner::run(
+            "failing_property",
+            &ProptestConfig::with_cases(16),
+            &(0u32..10,),
+            |(x,)| {
+                crate::prop_assert!(x < 3, "x was {}", x);
+                Ok(())
+            },
+        );
+    }
+}
