@@ -42,7 +42,7 @@ fn quality_report() {
                     mode,
                 },
                 &PdatConfig::default(),
-            );
+            ).expect("pdat run");
             eprintln!(
                 "[ablation quality] {label}-based RV32i: proved={} gates {} -> {} ({:.1}%)",
                 res.proved,
@@ -63,7 +63,7 @@ fn quality_report() {
                     conflict_budget: Some(budget),
                     ..Default::default()
                 },
-            );
+            ).expect("pdat run");
             eprintln!(
                 "[ablation quality] budget={budget}: proved={} gates -> {} ({:.1}%)",
                 res.proved,
@@ -134,7 +134,7 @@ fn bench_constraint_mode(c: &mut Criterion) {
                         mode,
                     },
                     &config,
-                )
+                ).expect("pdat run")
             })
         });
     }

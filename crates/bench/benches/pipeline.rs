@@ -94,7 +94,7 @@ fn bench_pipeline(c: &mut Criterion) {
                     mode: ConstraintMode::CutpointBased,
                 },
                 &config,
-            )
+            ).expect("pdat run")
         })
     });
     g.finish();

@@ -1,0 +1,99 @@
+//! Fault-injection smoke run for CI (tier-1).
+//!
+//! Drives the full PDAT pipeline on the keyed-design fixture under a
+//! sweep of seeded [`FaultPlan`]s — forced solver exhaustion and
+//! mid-simulation worker panics — and checks the robustness contract on
+//! every one: the run completes without aborting the process, and the
+//! proved set is a subset of the fault-free oracle's. Exits nonzero on
+//! any violation.
+//!
+//! Usage: `fault_smoke [N_SEEDS]` (default 12).
+
+use pdat::{run_pdat, Environment, FaultPlan, PdatConfig};
+use pdat_mc::CandidateKind;
+use pdat_netlist::{CellKind, NetId, Netlist};
+use std::collections::HashSet;
+
+fn keyed_design() -> Netlist {
+    let mut nl = Netlist::new("locked");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let fb = nl.add_net("fb");
+    let key = nl.add_dff(fb, true, "key");
+    nl.assign_alias(fb, key);
+    let t = nl.add_cell(CellKind::And2, &[a, b], "t");
+    let decoy = nl.add_cell(CellKind::Xor2, &[a, b], "decoy");
+    let out = nl.add_cell(CellKind::Mux2, &[decoy, t, key], "out");
+    nl.add_output("y", out);
+    nl
+}
+
+fn config(fault_plan: FaultPlan) -> PdatConfig {
+    PdatConfig {
+        sim_cycles: 64,
+        conflict_budget: Some(40_000),
+        max_iterations: 1_000,
+        seed: 0x5A0E,
+        fault_plan,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let n_seeds: u64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().unwrap_or(12))
+        .unwrap_or(12);
+
+    let nl = keyed_design();
+    let oracle = run_pdat(&nl, &Environment::Unconstrained, &config(FaultPlan::default()))
+        .expect("oracle run");
+    assert!(oracle.proved >= 1, "oracle must prove the key invariant");
+    assert!(oracle.degradations.is_empty(), "oracle must be fault-free");
+    let oracle_set: HashSet<(NetId, CandidateKind)> = oracle
+        .proved_invariants
+        .iter()
+        .map(|c| (c.net, c.kind))
+        .collect();
+    println!(
+        "fault smoke: oracle proves {} invariant(s); sweeping {} fault seeds",
+        oracle.proved, n_seeds
+    );
+
+    // Injected worker panics are expected; keep the log readable.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut injected = 0usize;
+    let mut degraded = 0usize;
+    for fault_seed in 0..n_seeds {
+        let plan = FaultPlan::from_seed(fault_seed);
+        if !plan.is_empty() {
+            injected += 1;
+        }
+        let res = run_pdat(&nl, &Environment::Unconstrained, &config(plan.clone()))
+            .expect("faulted run must return a result, not abort");
+        let proved: HashSet<(NetId, CandidateKind)> = res
+            .proved_invariants
+            .iter()
+            .map(|c| (c.net, c.kind))
+            .collect();
+        if !proved.is_subset(&oracle_set) {
+            let _ = std::panic::take_hook();
+            eprintln!("FAIL: fault seed {fault_seed} ({plan:?}) invented proofs");
+            std::process::exit(1);
+        }
+        if let Err(e) = res.netlist.validate() {
+            let _ = std::panic::take_hook();
+            eprintln!("FAIL: fault seed {fault_seed} produced an invalid netlist: {e}");
+            std::process::exit(1);
+        }
+        if !res.degradations.is_empty() {
+            degraded += 1;
+        }
+    }
+    let _ = std::panic::take_hook();
+    println!(
+        "fault smoke OK: {n_seeds} schedules ({injected} armed, {degraded} degraded), \
+         every proved set within the oracle"
+    );
+}

@@ -1,0 +1,209 @@
+//! Measures the cost of resource governance on the two hot pipeline
+//! stages, falsification and proof, on the Ibex-class core under the
+//! RV32I cutpoint environment.
+//!
+//! Two configurations of the *same* engines are timed:
+//!
+//! - `unlimited` — a `Governor::unlimited()` (no caps armed; the checks
+//!   short-circuit on `None` budgets).
+//! - `armed` — a governor with a far-away deadline and effectively
+//!   infinite conflict/cycle budgets, so every check site runs its full
+//!   path (atomic charge + cap compare + deadline poll) without ever
+//!   tripping. Results are asserted identical to the unlimited run.
+//!
+//! The reported overhead is `armed/unlimited - 1`; the acceptance target
+//! is < 2% on the falsification stage. Results go to `BENCH_PR4.json`
+//! (or the path given as the first non-flag argument). `--smoke` reduces
+//! the cycle count for CI.
+
+use pdat::rv_constraint;
+use pdat::{Governor, GovernorConfig};
+use pdat_aig::{netlist_to_aig, AigLit};
+use pdat_cores::build_ibex;
+use pdat_isa::RvSubset;
+use pdat_mc::{
+    candidates_for_netlist, houdini_prove_governed, simulate_filter_governed, HoudiniConfig,
+    SimFilterConfig,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::time::{Duration, Instant};
+
+fn armed_governor() -> Governor {
+    Governor::new(&GovernorConfig {
+        deadline: Some(Duration::from_secs(86_400)),
+        conflict_budget: Some(u64::MAX / 2),
+        cycle_budget: Some(u64::MAX / 2),
+        ..Default::default()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(bad) = args.iter().find(|a| a.starts_with("--") && *a != "--smoke") {
+        eprintln!("usage: governor_overhead [--smoke] [OUTPUT.json]");
+        eprintln!("unknown flag: {bad}");
+        std::process::exit(2);
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+
+    let cycles = if smoke { 64 } else { 512 };
+    let reps = if smoke { 1 } else { 5 };
+    let seed = 0xB14C_u64;
+
+    let core = build_ibex();
+    let subset = RvSubset::rv32i();
+    let mut na = netlist_to_aig(&core.netlist, &core.cut_fetch);
+    let lits: Vec<AigLit> = core.cut_fetch.iter().map(|n| na.input_lit[n]).collect();
+    let indices: Vec<usize> = lits
+        .iter()
+        .map(|l| {
+            na.aig
+                .inputs()
+                .iter()
+                .position(|&n| AigLit::of(n) == *l)
+                .expect("cutpoint is an analysis input")
+        })
+        .collect();
+    let (constraint, instr) = rv_constraint(&mut na.aig, &lits, indices, &subset);
+    let candidates = candidates_for_netlist(&core.netlist, &na);
+    let stimulus = move |rng: &mut StdRng, words: &mut [u64]| {
+        for w in words.iter_mut() {
+            *w = rng.gen();
+        }
+        instr.drive(rng, words);
+    };
+    let sim_config = SimFilterConfig {
+        cycles,
+        lane_blocks: 4,
+        threads: 1, // single-threaded so the timing isolates check cost
+        restart_threshold: 8,
+    };
+    let houdini_config = HoudiniConfig {
+        conflict_budget: Some(if smoke { 2_000 } else { 60_000 }),
+        max_iterations: 2_000,
+    };
+
+    println!(
+        "governor overhead on ibex rv32i: {} candidates, {} cycles x 4 blocks, {} reps{}",
+        candidates.len(),
+        cycles,
+        reps,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // --- Falsification stage ---
+    let mut best_sim = [f64::MAX; 2];
+    let mut survivors_per_mode = [usize::MAX; 2];
+    for _ in 0..reps {
+        for (mode, best) in best_sim.iter_mut().enumerate() {
+            let gov = if mode == 0 {
+                Governor::unlimited()
+            } else {
+                armed_governor()
+            };
+            let t = Instant::now();
+            let (survivors, _, events) = simulate_filter_governed(
+                &na, constraint, &candidates, &sim_config, &stimulus, seed, &gov,
+            );
+            let dt = t.elapsed().as_secs_f64();
+            assert!(events.is_empty(), "an untripped governor must not degrade");
+            if survivors_per_mode[mode] == usize::MAX {
+                survivors_per_mode[mode] = survivors.len();
+            }
+            assert_eq!(survivors_per_mode[mode], survivors.len());
+            if dt < *best {
+                *best = dt;
+            }
+        }
+    }
+    assert_eq!(
+        survivors_per_mode[0], survivors_per_mode[1],
+        "governance must not change results"
+    );
+    let sim_overhead = 100.0 * (best_sim[1] / best_sim[0] - 1.0);
+
+    // --- Proof stage ---
+    let (survivors, _, _) = simulate_filter_governed(
+        &na,
+        constraint,
+        &candidates,
+        &sim_config,
+        &stimulus,
+        seed,
+        &Governor::unlimited(),
+    );
+    let mut best_prove = [f64::MAX; 2];
+    let mut proved_per_mode = [usize::MAX; 2];
+    for _ in 0..reps {
+        for (mode, best) in best_prove.iter_mut().enumerate() {
+            let gov = if mode == 0 {
+                Governor::unlimited()
+            } else {
+                armed_governor()
+            };
+            let t = Instant::now();
+            let (proved, _, events) =
+                houdini_prove_governed(&na.aig, constraint, &na, &survivors, &houdini_config, &gov);
+            let dt = t.elapsed().as_secs_f64();
+            assert!(events.is_empty(), "an untripped governor must not degrade");
+            if proved_per_mode[mode] == usize::MAX {
+                proved_per_mode[mode] = proved.len();
+            }
+            assert_eq!(proved_per_mode[mode], proved.len());
+            if dt < *best {
+                *best = dt;
+            }
+        }
+    }
+    assert_eq!(
+        proved_per_mode[0], proved_per_mode[1],
+        "governance must not change proofs"
+    );
+    let prove_overhead = 100.0 * (best_prove[1] / best_prove[0] - 1.0);
+
+    println!(
+        "  falsify: unlimited {:.4}s, armed {:.4}s  -> {:+.2}% overhead (target < 2%)",
+        best_sim[0], best_sim[1], sim_overhead
+    );
+    println!(
+        "  prove:   unlimited {:.4}s, armed {:.4}s  -> {:+.2}% overhead",
+        best_prove[0], best_prove[1], prove_overhead
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"governor_overhead\",\n  \"design\": \"ibex\",\n  \
+         \"environment\": \"rv32i cutpoint\",\n  \"candidates\": {},\n  \"cycles\": {},\n  \
+         \"reps\": {},\n  \"smoke\": {},\n  \"survivors\": {},\n  \"proved\": {},\n  \
+         \"falsify_unlimited_seconds\": {:.6},\n  \"falsify_armed_seconds\": {:.6},\n  \
+         \"falsify_overhead_percent\": {:.3},\n  \
+         \"prove_unlimited_seconds\": {:.6},\n  \"prove_armed_seconds\": {:.6},\n  \
+         \"prove_overhead_percent\": {:.3},\n  \"target_percent\": 2.0\n}}\n",
+        candidates.len(),
+        cycles,
+        reps,
+        smoke,
+        survivors_per_mode[0],
+        proved_per_mode[0],
+        best_sim[0],
+        best_sim[1],
+        sim_overhead,
+        best_prove[0],
+        best_prove[1],
+        prove_overhead,
+    );
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+    if !smoke && sim_overhead >= 2.0 {
+        eprintln!("WARNING: falsification overhead {sim_overhead:.2}% exceeds the 2% target");
+        std::process::exit(1);
+    }
+}

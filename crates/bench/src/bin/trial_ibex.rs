@@ -30,7 +30,7 @@ fn main() {
             mode: ConstraintMode::CutpointBased,
         },
         &config,
-    );
+    ).expect("pdat run");
     println!(
         "{}: cands={} sim_survivors={} proved={} | gates {} -> {} ({:+.1}%) area {:.0} -> {:.0} ({:+.1}%) | {:.1}s (sim {:.1}s, prove {:.1}s, synth {:.1}s)",
         subset.name,

@@ -36,7 +36,7 @@ fn main() {
             mode: ConstraintMode::PortBased,
         },
         &PdatConfig::default(),
-    );
+    ).expect("pdat run");
     println!(
         "{} (obf={obf}): proved={} | gates {} -> {} ({:+.1}%) area {:.0} -> {:.0} ({:+.1}%) | {:.1}s",
         subset.name,

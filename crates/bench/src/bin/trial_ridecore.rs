@@ -44,7 +44,7 @@ fn main() {
             mode: ConstraintMode::PortBased,
         },
         &config,
-    );
+    ).expect("pdat run");
     println!(
         "{}: cands={} surv={} proved={} | gates {} -> {} ({:+.1}%) | {:.0}s (sim {:.0}s prove {:.0}s synth {:.0}s)",
         subset.name,

@@ -147,7 +147,7 @@ fn rv_variant_rows(
                 mode,
             },
             config,
-        );
+        ).expect("pdat run");
         rows.push(row_from_result(
             &subset.name,
             &full,
@@ -195,7 +195,7 @@ pub fn m0_variant_rows(
                 mode: ConstraintMode::PortBased,
             },
             config,
-        );
+        ).expect("pdat run");
         rows.push(row_from_result(
             &subset.name,
             &full,

@@ -43,7 +43,8 @@
 //!         mode: ConstraintMode::CutpointBased,
 //!     },
 //!     &PdatConfig::default(),
-//! );
+//! )
+//! .expect("valid input netlist");
 //! println!(
 //!     "gates {} -> {} ({:.1}% reduction)",
 //!     result.baseline.gate_count,
@@ -56,5 +57,11 @@ mod constraint;
 mod pipeline;
 
 pub use constraint::{rv_constraint, thumb_constraint, ConstraintMode, InstrConstraint};
-pub use pdat_mc::{HoudiniStats, SimFilterStats};
-pub use pipeline::{run_pdat, run_pdat_with, Environment, ExtraRestriction, PdatConfig, PdatResult};
+pub use pdat_governor::{
+    Cause, DegradationEvent, FaultPlan, Governor, GovernorConfig, Stage,
+};
+pub use pdat_mc::{Candidate, CandidateKind, HoudiniStats, SimFilterStats};
+pub use pipeline::{
+    run_pdat, run_pdat_governed, run_pdat_with, Environment, ExtraRestriction, PdatConfig,
+    PdatError, PdatResult,
+};

@@ -3,16 +3,18 @@
 
 use crate::constraint::{rv_constraint, thumb_constraint, ConstraintMode, InstrConstraint};
 use pdat_aig::{netlist_to_aig, AigLit, NetlistAig};
+use pdat_governor::{DegradationEvent, FaultPlan, Governor, GovernorConfig};
 use pdat_isa::{RvSubset, ThumbSubset};
 use pdat_mc::{
-    candidates_for_netlist, houdini_prove, simulate_filter_with_stats, Candidate, CandidateKind,
-    HoudiniConfig, HoudiniStats, SimFilterConfig, SimFilterStats,
+    candidates_for_netlist, houdini_prove_governed, simulate_filter_governed, Candidate,
+    CandidateKind, HoudiniConfig, HoudiniStats, SimFilterConfig, SimFilterStats,
 };
-use pdat_netlist::{Driver, NetId, Netlist, NetlistStats};
-use pdat_synth::resynthesize;
+use pdat_netlist::{Driver, NetId, Netlist, NetlistStats, ParseNetlistError, ValidateError};
+use pdat_synth::resynthesize_governed;
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for a PDAT run.
@@ -35,6 +37,21 @@ pub struct PdatConfig {
     pub max_iterations: usize,
     /// RNG seed (the whole pipeline is deterministic per seed).
     pub seed: u64,
+    /// Wall-clock deadline for the whole run. On expiry the pipeline
+    /// degrades gracefully: unproved candidates are dropped and the stages
+    /// finish with whatever survived (see `PdatResult::degradations`).
+    /// Deadline cuts are *not* deterministic across machines.
+    pub deadline: Option<Duration>,
+    /// Global SAT conflict budget shared by every induction query in the
+    /// run (on top of the per-query `conflict_budget`). Deterministic.
+    pub global_conflict_budget: Option<u64>,
+    /// Global simulated-cycle budget (cycles × live lanes) for the
+    /// falsification stage. Deterministic: apportioned per lane block in
+    /// fixed order regardless of thread count.
+    pub global_cycle_budget: Option<u64>,
+    /// Deterministic fault-injection plan for robustness testing. Empty by
+    /// default (no faults).
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for PdatConfig {
@@ -47,7 +64,58 @@ impl Default for PdatConfig {
             conflict_budget: Some(300_000),
             max_iterations: 10_000,
             seed: 0x9DA7,
+            deadline: None,
+            global_conflict_budget: None,
+            global_cycle_budget: None,
+            fault_plan: FaultPlan::default(),
         }
+    }
+}
+
+/// Error from a PDAT run. Every input-dependent failure mode surfaces
+/// here; the pipeline itself never panics on bad input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PdatError {
+    /// The input netlist failed structural validation.
+    InvalidNetlist(ValidateError),
+    /// An environment-constraint net is not a free analysis variable
+    /// (PortBased mode requires primary-input nets; CutpointBased requires
+    /// the nets listed as cutpoints).
+    UnboundConstraintNet {
+        /// Name of the offending net.
+        net: String,
+    },
+    /// A netlist file failed to parse (carried through for callers that
+    /// feed `parse_netlist` output straight into the pipeline).
+    Parse(ParseNetlistError),
+}
+
+impl fmt::Display for PdatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdatError::InvalidNetlist(e) => write!(f, "invalid netlist: {e}"),
+            PdatError::UnboundConstraintNet { net } => write!(
+                f,
+                "constraint net `{net}` is not a free analysis variable; \
+                 PortBased mode requires primary-input nets and \
+                 CutpointBased requires the nets listed as cutpoints"
+            ),
+            PdatError::Parse(e) => write!(f, "netlist parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PdatError {}
+
+impl From<ValidateError> for PdatError {
+    fn from(e: ValidateError) -> Self {
+        PdatError::InvalidNetlist(e)
+    }
+}
+
+impl From<ParseNetlistError> for PdatError {
+    fn from(e: ParseNetlistError) -> Self {
+        PdatError::Parse(e)
     }
 }
 
@@ -68,12 +136,19 @@ pub struct PdatResult {
     pub sim_survivors: usize,
     /// Invariants proved (and applied as rewirings).
     pub proved: usize,
+    /// The proved invariants themselves, as applied to the netlist.
+    pub proved_invariants: Vec<Candidate>,
     /// Stage wall times: (annotate+sim, prove, rewire+resynth).
     pub stage_times: (Duration, Duration, Duration),
     /// Falsification-stage counters (kills, restarts, wasted lanes, …).
     pub sim_stats: SimFilterStats,
     /// Proof-stage counters, including budget-dropped candidate indices.
     pub houdini_stats: HoudiniStats,
+    /// Every graceful-degradation event, in pipeline order. Empty on a
+    /// fault-free, unbudgeted run. Each event records the stage, the
+    /// cause (deadline, budget, cancellation, worker panic), and how many
+    /// candidates were conservatively dropped.
+    pub degradations: Vec<DegradationEvent>,
 }
 
 impl PdatResult {
@@ -151,22 +226,73 @@ pub enum ExtraRestriction {
 /// by the environment restriction, with hardware for everything else
 /// removed (paper §IV). The baseline for comparison is the same netlist
 /// resynthesized without any restriction.
-pub fn run_pdat(netlist: &Netlist, env: &Environment<'_>, config: &PdatConfig) -> PdatResult {
+///
+/// # Errors
+///
+/// Returns [`PdatError`] if the input netlist is structurally invalid or
+/// a constraint net is not a free analysis variable.
+pub fn run_pdat(
+    netlist: &Netlist,
+    env: &Environment<'_>,
+    config: &PdatConfig,
+) -> Result<PdatResult, PdatError> {
     run_pdat_with(netlist, env, &[], config)
 }
 
 /// [`run_pdat`] with additional [`ExtraRestriction`]s conjoined into the
 /// environment.
+///
+/// # Errors
+///
+/// Returns [`PdatError`] if the input netlist is structurally invalid or
+/// a constraint net is not a free analysis variable.
 pub fn run_pdat_with(
     netlist: &Netlist,
     env: &Environment<'_>,
     extras: &[ExtraRestriction],
     config: &PdatConfig,
-) -> PdatResult {
-    // Baseline: plain synthesis, no properties.
-    let (baseline_nl, _) = resynthesize(netlist);
+) -> Result<PdatResult, PdatError> {
+    let governor = Governor::new(&GovernorConfig {
+        deadline: config.deadline,
+        conflict_budget: config.global_conflict_budget,
+        cycle_budget: config.global_cycle_budget,
+        fault_plan: config.fault_plan.clone(),
+    });
+    run_pdat_governed(netlist, env, extras, config, &governor)
+}
+
+/// [`run_pdat_with`] against a caller-supplied [`Governor`], for embedding
+/// the pipeline under an external resource manager or cancellation source
+/// (the governor can be cloned to another thread and `cancel()`ed). The
+/// governor's own budgets apply; the `deadline` / `global_*_budget` /
+/// `fault_plan` fields of `config` are ignored in this variant.
+///
+/// When the governor trips mid-run the pipeline degrades gracefully:
+/// candidates that could not be fully vetted are conservatively dropped
+/// (sound — the proved set only shrinks), and the run completes with
+/// whatever was proved, recording each cut in
+/// [`PdatResult::degradations`].
+///
+/// # Errors
+///
+/// Returns [`PdatError`] if the input netlist is structurally invalid or
+/// a constraint net is not a free analysis variable.
+pub fn run_pdat_governed(
+    netlist: &Netlist,
+    env: &Environment<'_>,
+    extras: &[ExtraRestriction],
+    config: &PdatConfig,
+    governor: &Governor,
+) -> Result<PdatResult, PdatError> {
+    netlist.validate()?;
+
+    // Baseline: plain synthesis, no properties. Ungoverned on purpose:
+    // the baseline is the comparison yardstick and must not shift with
+    // budget settings.
+    let (baseline_nl, _, _) = resynthesize_governed(netlist, &Governor::unlimited());
     let baseline = baseline_nl.stats();
 
+    let mut degradations: Vec<DegradationEvent> = Vec::new();
     let t0 = Instant::now();
 
     // --- Stage 0/1: build the analysis model + environment restriction ---
@@ -184,7 +310,7 @@ pub fn run_pdat_with(
         _ => Vec::new(),
     };
     let mut na = netlist_to_aig(netlist, &cut_nets);
-    let (mut constraint, instr_constraints) = build_constraint(&mut na, env);
+    let (mut constraint, instr_constraints) = build_constraint(&mut na, netlist, env)?;
     for extra in extras {
         let lit = build_extra(&mut na, extra);
         constraint = na.aig.and(constraint, lit);
@@ -205,7 +331,7 @@ pub fn run_pdat_with(
             c.drive(rng, words);
         }
     };
-    let (survivors, sim_stats) = simulate_filter_with_stats(
+    let (survivors, sim_stats, sim_events) = simulate_filter_governed(
         &na,
         constraint,
         &candidates,
@@ -217,12 +343,14 @@ pub fn run_pdat_with(
         },
         &stim,
         config.seed,
+        governor,
     );
+    degradations.extend(sim_events);
     let n_survivors = survivors.len();
     let t1 = Instant::now();
 
     // --- Prove by mutual induction ---
-    let (proved, houdini_stats) = houdini_prove(
+    let (proved, houdini_stats, prove_events) = houdini_prove_governed(
         &na.aig,
         constraint,
         &na,
@@ -231,7 +359,9 @@ pub fn run_pdat_with(
             conflict_budget: config.conflict_budget,
             max_iterations: config.max_iterations,
         },
+        governor,
     );
+    degradations.extend(prove_events);
     let t2 = Instant::now();
 
     // --- Rewire (paper §IV-B: assignments only, no cell changes) ---
@@ -239,21 +369,24 @@ pub fn run_pdat_with(
     apply_rewirings(&mut rewired, &proved);
 
     // --- Resynthesize (paper §IV-C) ---
-    let (optimized_nl, _) = resynthesize(&rewired);
+    let (optimized_nl, _, synth_events) = resynthesize_governed(&rewired, governor);
+    degradations.extend(synth_events);
     let optimized = optimized_nl.stats();
     let t3 = Instant::now();
 
-    PdatResult {
+    Ok(PdatResult {
         netlist: optimized_nl,
         baseline,
         optimized,
         candidates: n_candidates,
         sim_survivors: n_survivors,
         proved: proved.len(),
+        proved_invariants: proved,
         stage_times: (t1 - t0, t2 - t1, t3 - t2),
         sim_stats,
         houdini_stats,
-    }
+        degradations,
+    })
 }
 
 fn build_extra(na: &mut NetlistAig, extra: &ExtraRestriction) -> pdat_aig::AigLit {
@@ -295,8 +428,9 @@ fn build_extra(na: &mut NetlistAig, extra: &ExtraRestriction) -> pdat_aig::AigLi
 
 fn build_constraint(
     na: &mut NetlistAig,
+    netlist: &Netlist,
     env: &Environment<'_>,
-) -> (AigLit, Vec<InstrConstraint>) {
+) -> Result<(AigLit, Vec<InstrConstraint>), PdatError> {
     let index_of: HashMap<_, _> = na
         .aig
         .inputs()
@@ -304,27 +438,29 @@ fn build_constraint(
         .enumerate()
         .map(|(i, &n)| (pdat_aig::AigLit::of(n), i))
         .collect();
-    let lits_and_indices = |na: &NetlistAig, nets: &[NetId]| -> (Vec<AigLit>, Vec<usize>) {
-        let lits: Vec<AigLit> = nets
-            .iter()
-            .map(|n| {
-                *na.input_lit.get(n).unwrap_or_else(|| {
-                    panic!(
-                        "constraint net is not a free analysis variable;                          PortBased mode requires primary-input nets and                          CutpointBased requires the nets listed as cutpoints"
-                    )
+    let lits_and_indices =
+        |na: &NetlistAig, nets: &[NetId]| -> Result<(Vec<AigLit>, Vec<usize>), PdatError> {
+            let lits: Vec<AigLit> = nets
+                .iter()
+                .map(|n| {
+                    na.input_lit
+                        .get(n)
+                        .copied()
+                        .ok_or_else(|| PdatError::UnboundConstraintNet {
+                            net: netlist.net(*n).name.clone(),
+                        })
                 })
-            })
-            .collect();
-        let idx: Vec<usize> = lits.iter().map(|l| index_of[l]).collect();
-        (lits, idx)
-    };
-    match env {
+                .collect::<Result<_, _>>()?;
+            let idx: Vec<usize> = lits.iter().map(|l| index_of[l]).collect();
+            Ok((lits, idx))
+        };
+    Ok(match env {
         Environment::Unconstrained => (AigLit::TRUE, Vec::new()),
         Environment::Rv { subset, ports, .. } => {
             let mut all = Vec::new();
             let mut lit = AigLit::TRUE;
             for port in ports {
-                let (lits, idx) = lits_and_indices(na, port);
+                let (lits, idx) = lits_and_indices(na, port)?;
                 let (l, c) = rv_constraint(&mut na.aig, &lits, idx, subset);
                 lit = na.aig.and(lit, l);
                 all.push(c);
@@ -332,11 +468,11 @@ fn build_constraint(
             (lit, all)
         }
         Environment::Thumb { subset, port, .. } => {
-            let (lits, idx) = lits_and_indices(na, port);
+            let (lits, idx) = lits_and_indices(na, port)?;
             let (l, c) = thumb_constraint(&mut na.aig, &lits, idx, subset);
             (l, vec![c])
         }
-    }
+    })
 }
 
 /// Apply proved invariants as rewirings: constants first, then aliases
@@ -436,7 +572,8 @@ mod tests {
         // Unconstrained + manual environment is not expressive enough, so
         // use the generic engine pieces directly through a 1-form subset.
         // Simpler: use Environment::Unconstrained as control...
-        let base = run_pdat(&nl, &Environment::Unconstrained, &PdatConfig::default());
+        let base = run_pdat(&nl, &Environment::Unconstrained, &PdatConfig::default())
+            .expect("valid netlist");
         // Unconstrained: sel can be 1, unit stays.
         assert!(base.optimized.dff_count > 0, "unit survives unconstrained");
 
@@ -446,7 +583,8 @@ mod tests {
         // to end on the real cores in the integration suite.
         let mut tied = nl.clone();
         tied.assign_const(op[3], false);
-        let res = run_pdat(&tied, &Environment::Unconstrained, &PdatConfig::default());
+        let res = run_pdat(&tied, &Environment::Unconstrained, &PdatConfig::default())
+            .expect("valid netlist");
         assert_eq!(res.optimized.dff_count, 0, "gated unit removed");
         // With the tie being combinational, plain resynthesis already
         // removes everything PDAT can — the PDAT result must never be
@@ -468,7 +606,8 @@ mod tests {
         let decoy = nl.add_cell(CellKind::Xor2, &[a, b], "decoy");
         let out = nl.add_cell(CellKind::Mux2, &[decoy, t, key], "out");
         nl.add_output("y", out);
-        let res = run_pdat(&nl, &Environment::Unconstrained, &PdatConfig::default());
+        let res = run_pdat(&nl, &Environment::Unconstrained, &PdatConfig::default())
+            .expect("valid netlist");
         assert!(res.proved >= 1, "key invariant proved");
         assert_eq!(res.optimized.dff_count, 0, "key latch removed");
         assert!(

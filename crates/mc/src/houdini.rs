@@ -2,6 +2,7 @@
 
 use crate::candidates::{Candidate, CandidateKind};
 use pdat_aig::{Aig, AigLit, Frame, FrameEncoder, NetlistAig};
+use pdat_governor::{Cause, DegradationEvent, Governor, Stage};
 use pdat_sat::{Lit, SolveResult, Solver};
 
 /// Proof-engine knobs.
@@ -59,12 +60,34 @@ pub fn houdini_prove(
     candidates: &[Candidate],
     config: &HoudiniConfig,
 ) -> (Vec<Candidate>, HoudiniStats) {
+    let (proved, stats, _events) =
+        houdini_prove_governed(aig, constraint, na, candidates, config, &Governor::unlimited());
+    (proved, stats)
+}
+
+/// [`houdini_prove`] under a shared [`Governor`]: SAT conflicts are charged
+/// to the global budget, each query's per-solve budget is apportioned as
+/// `min(config.conflict_budget, remaining global budget)`, and global
+/// exhaustion (budget, deadline, cancellation, or an armed solver fault)
+/// drops *all* still-alive candidates — recorded in the stats and as a
+/// [`DegradationEvent`] — instead of proving them. Dropping is sound
+/// (paper §VII-C): an unproved candidate is simply not rewired.
+pub fn houdini_prove_governed(
+    aig: &Aig,
+    constraint: AigLit,
+    na: &NetlistAig,
+    candidates: &[Candidate],
+    config: &HoudiniConfig,
+    governor: &Governor,
+) -> (Vec<Candidate>, HoudiniStats, Vec<DegradationEvent>) {
     let mut stats = HoudiniStats::default();
+    let mut events = Vec::new();
     if candidates.is_empty() {
-        return (Vec::new(), stats);
+        return (Vec::new(), stats, events);
     }
 
     let mut solver = Solver::new();
+    solver.set_governor(governor.clone());
     solver.set_conflict_budget(config.conflict_budget);
     let enc = FrameEncoder::new(aig, &mut solver);
     // Frame 0 over a free state, frame 1 over its successors.
@@ -88,18 +111,64 @@ pub fn houdini_prove(
     // Candidates whose nets have no literal can't be reasoned about.
     alive.retain(|&i| ind0[i].is_some() && ind1[i].is_some());
 
+    // Drop every still-alive candidate, recording both the stats and a
+    // degradation event. Always sound: unproved candidates are not rewired.
+    fn drop_all(
+        alive: &mut Vec<usize>,
+        stats: &mut HoudiniStats,
+        events: &mut Vec<DegradationEvent>,
+        cause: Cause,
+        detail: String,
+    ) {
+        if alive.is_empty() {
+            return;
+        }
+        stats.dropped_by_budget += alive.len();
+        stats.dropped_candidates.extend_from_slice(alive);
+        events.push(DegradationEvent {
+            stage: Stage::Prove,
+            cause,
+            dropped: alive.len(),
+            detail,
+        });
+        alive.clear();
+    }
+
     let conflicts_before = solver.num_conflicts();
     loop {
         stats.iterations += 1;
         if stats.iterations > config.max_iterations {
-            stats.dropped_by_budget += alive.len();
-            stats.dropped_candidates.extend_from_slice(&alive);
-            alive.clear();
+            drop_all(
+                &mut alive,
+                &mut stats,
+                &mut events,
+                Cause::IterationCap,
+                format!("gave up after {} iterations", config.max_iterations),
+            );
             break;
         }
         if alive.is_empty() {
             break;
         }
+        if let Some(cause) = governor.exhausted() {
+            let iter = stats.iterations;
+            drop_all(
+                &mut alive,
+                &mut stats,
+                &mut events,
+                cause,
+                format!("before iteration {iter}"),
+            );
+            break;
+        }
+        // Apportion the per-query budget from what is left globally so one
+        // runaway query cannot silently overdraw the shared allowance.
+        let per_solve = match (config.conflict_budget, governor.remaining_conflicts()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        };
+        solver.set_conflict_budget(per_solve);
         // Activation clause: act -> (some alive candidate fails at frame 1).
         let act = Lit::pos(solver.new_var());
         let mut clause: Vec<Lit> = vec![!act];
@@ -131,21 +200,60 @@ pub fn houdini_prove(
                 if dropped == 0 {
                     // Defensive: a model must falsify something; if not,
                     // stop rather than loop forever.
-                    stats.dropped_by_budget += alive.len();
-                    stats.dropped_candidates.extend_from_slice(&alive);
-                    alive.clear();
+                    let iter = stats.iterations;
+                    drop_all(
+                        &mut alive,
+                        &mut stats,
+                        &mut events,
+                        Cause::IterationCap,
+                        format!("iteration {iter}: model without progress"),
+                    );
                     break;
                 }
             }
             SolveResult::Unknown => {
-                // Budget exhausted: deterministically drop the upper half
-                // of the alive set (highest candidate indices — `alive`
-                // stays sorted ascending throughout) and retry on the
-                // cheaper remainder.
                 solver.add_clause(&[!act]);
+                if let Some(cause) = governor.exhausted() {
+                    // Nothing left globally: no retry is possible.
+                    let iter = stats.iterations;
+                    drop_all(
+                        &mut alive,
+                        &mut stats,
+                        &mut events,
+                        cause,
+                        format!("iteration {iter}: query inconclusive"),
+                    );
+                    break;
+                }
+                if governor.solver_should_stop() {
+                    // An armed fault is simulating solver exhaustion; it
+                    // will fire on every retry, so stop here.
+                    let iter = stats.iterations;
+                    drop_all(
+                        &mut alive,
+                        &mut stats,
+                        &mut events,
+                        Cause::ConflictBudget,
+                        format!("iteration {iter}: injected solver exhaustion"),
+                    );
+                    break;
+                }
+                // Per-query budget exhausted: deterministically drop the
+                // upper half of the alive set (highest candidate indices —
+                // `alive` stays sorted ascending throughout) and retry on
+                // the cheaper remainder.
                 let keep = alive.len() / 2;
                 stats.dropped_by_budget += alive.len() - keep;
                 stats.dropped_candidates.extend_from_slice(&alive[keep..]);
+                events.push(DegradationEvent {
+                    stage: Stage::Prove,
+                    cause: Cause::ConflictBudget,
+                    dropped: alive.len() - keep,
+                    detail: format!(
+                        "iteration {}: per-query budget exhausted, dropped upper half",
+                        stats.iterations
+                    ),
+                });
                 alive.truncate(keep);
                 if alive.is_empty() {
                     break;
@@ -155,7 +263,7 @@ pub fn houdini_prove(
     }
     stats.conflicts = solver.num_conflicts() - conflicts_before;
     let proved = alive.iter().map(|&i| candidates[i]).collect();
-    (proved, stats)
+    (proved, stats, events)
 }
 
 /// Build a single SAT literal that is true iff the candidate holds in the
@@ -286,6 +394,55 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), stats1.dropped_candidates.len(), "no double drops");
         assert!(sorted.iter().all(|&i| i < cands.len()));
+    }
+
+    #[test]
+    fn governed_global_budget_drops_all_with_event() {
+        use pdat_governor::{Cause, Governor, GovernorConfig, Stage};
+        // Provable mutual-induction pair, but the global conflict budget is
+        // gone before the first query: everything must be dropped, with the
+        // drop attributed to the Prove stage.
+        let mut nl = Netlist::new("t");
+        let fb1 = nl.add_net("fb1");
+        let fb2 = nl.add_net("fb2");
+        let q1 = nl.add_dff(fb2, false, "q1");
+        let q2 = nl.add_dff(fb1, false, "q2");
+        nl.assign_alias(fb1, q1);
+        nl.assign_alias(fb2, q2);
+        nl.add_output("q1", q1);
+        let na = netlist_to_aig(&nl, &[]);
+        let cands = vec![
+            Candidate {
+                net: q1,
+                kind: CandidateKind::ConstFalse,
+            },
+            Candidate {
+                net: q2,
+                kind: CandidateKind::ConstFalse,
+            },
+        ];
+        let g = Governor::new(&GovernorConfig {
+            conflict_budget: Some(0),
+            ..Default::default()
+        });
+        let (proved, stats, events) = houdini_prove_governed(
+            &na.aig,
+            AigLit::TRUE,
+            &na,
+            &cands,
+            &HoudiniConfig::default(),
+            &g,
+        );
+        assert!(proved.is_empty());
+        assert_eq!(stats.dropped_by_budget, 2);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].stage, Stage::Prove);
+        assert_eq!(events[0].cause, Cause::ConflictBudget);
+        assert_eq!(events[0].dropped, 2);
+        // The ungoverned run proves both — the degraded result is a subset.
+        let (full, _) =
+            houdini_prove(&na.aig, AigLit::TRUE, &na, &cands, &HoudiniConfig::default());
+        assert_eq!(full.len(), 2);
     }
 
     #[test]

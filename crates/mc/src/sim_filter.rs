@@ -22,11 +22,21 @@
 //! mask ops per *live* candidate. A per-block lane-viability threshold
 //! restarts a block's trajectory from reset when too few of its lanes still
 //! satisfy the environment constraint.
+//!
+//! The engine is resource-governed ([`simulate_filter_governed`]): a shared
+//! [`Governor`] bounds total simulated block-cycles (deterministically
+//! pre-apportioned across chunks), enforces a wall-clock deadline at cycle
+//! boundaries, and isolates worker panics behind a per-chunk
+//! `catch_unwind`. Any chunk cut short *drops* its unvetted candidates so
+//! degraded survivors are always a subset of the fault-free ones.
 
 use crate::candidates::{Candidate, CandidateKind};
 use pdat_aig::{AigLit, AigSimulator, AigSimulatorWide, NetlistAig, SIM_WIDTH};
+use pdat_governor::{Cause, DegradationEvent, Governor, Stage};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Knobs for the falsification pass.
 #[derive(Debug, Clone)]
@@ -160,9 +170,18 @@ fn block_seed(seed: u64, block: u64) -> u64 {
 }
 
 /// Simulate one chunk of up to [`SIM_WIDTH`] lane blocks (blocks
-/// `chunk_base .. chunk_base + real`); sets kill bits and accumulates
-/// stats. Words `real..SIM_WIDTH` are padding: their `scan_ok` mask stays
-/// zero forever, so they can neither kill nor count.
+/// `chunk * SIM_WIDTH ..+ real`); sets kill bits and accumulates stats.
+/// Words `real..SIM_WIDTH` are padding: their `scan_ok` mask stays zero
+/// forever, so they can neither kill nor count.
+///
+/// Governance: the chunk simulates at most `allowed_cycles` (its
+/// deterministic share of the global cycle budget), polls the governor's
+/// deadline/cancellation each cycle, and honors an armed sim-panic fault.
+/// A chunk that stops before `config.cycles` did not finish vetting its
+/// alive set, so it *drops* every still-alive candidate (sets their bits
+/// in `dropped`): partial positive evidence must not let a candidate
+/// reach the prover, or the degraded survivor set could exceed the
+/// fault-free one and prove candidates with unchecked base cases.
 #[allow(clippy::too_many_arguments)]
 fn run_chunk(
     proto: &AigSimulatorWide<'_>,
@@ -171,11 +190,16 @@ fn run_chunk(
     config: &SimFilterConfig,
     stimulus: &(dyn Fn(&mut StdRng, &mut [u64]) + Sync),
     seed: u64,
-    chunk_base: u64,
+    chunk: usize,
     real: usize,
+    allowed_cycles: usize,
+    governor: &Governor,
     killed: &mut [u64],
+    dropped: &mut [u64],
     stats: &mut SimFilterStats,
+    events: &mut Vec<DegradationEvent>,
 ) {
+    let chunk_base = (chunk * SIM_WIDTH) as u64;
     let mut sim = proto.clone();
     sim.reset();
     // Per-chunk alive set: one flat, target-sorted array, compacted in
@@ -190,15 +214,30 @@ fn run_chunk(
     let mut inputs = vec![[0u64; SIM_WIDTH]; n_inputs];
     stats.lane_blocks += real as u64;
 
+    let mut cut_short = (allowed_cycles < config.cycles).then_some(Cause::CycleBudget);
+    let mut simulated = 0usize;
     // Sticky per-block constraint masks; padding words stay dead (zero).
     let mut lane_ok = [0u64; SIM_WIDTH];
     for m in lane_ok.iter_mut().take(real) {
         *m = u64::MAX;
     }
-    for _cycle in 0..config.cycles {
+    for cycle in 0..allowed_cycles {
         if live.is_empty() {
             break;
         }
+        if governor.is_cancelled() {
+            cut_short = Some(Cause::Cancelled);
+            break;
+        }
+        if governor.deadline_exceeded() {
+            cut_short = Some(Cause::Deadline);
+            break;
+        }
+        if governor.fault_sim_panic(chunk as u64, cycle as u64) {
+            panic!("injected fault: sim worker panic at chunk {chunk}, cycle {cycle}");
+        }
+        governor.charge_cycles(real as u64);
+        simulated += 1;
         for w in 0..real {
             stimulus(&mut rngs[w], &mut scratch);
             for (inp, &s) in inputs.iter_mut().zip(&scratch) {
@@ -265,6 +304,114 @@ fn run_chunk(
             }
         }
     }
+    if let Some(cause) = cut_short {
+        if !live.is_empty() {
+            let mut n = 0usize;
+            for m in &live {
+                let w = m.cand as usize / 64;
+                let b = 1u64 << (m.cand % 64);
+                if dropped[w] & b == 0 {
+                    dropped[w] |= b;
+                    n += 1;
+                }
+            }
+            events.push(DegradationEvent {
+                stage: Stage::Falsify,
+                cause,
+                dropped: n,
+                detail: format!(
+                    "chunk {chunk} stopped after {simulated} of {} cycles",
+                    config.cycles
+                ),
+            });
+        }
+    }
+}
+
+/// Best-effort human-readable panic payload.
+fn panic_message(payload: &(dyn Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
+/// Per-chunk result, merged deterministically (in chunk order) after all
+/// chunks finish.
+struct ChunkOutcome {
+    chunk: usize,
+    killed: Vec<u64>,
+    dropped: Vec<u64>,
+    stats: SimFilterStats,
+    events: Vec<DegradationEvent>,
+}
+
+/// Run one chunk behind a panic boundary. A panicking chunk poisons only
+/// itself: kills it recorded before dying are kept (each was genuinely
+/// observed), everything else in its template is dropped as unvetted, and
+/// the panic becomes a [`Cause::WorkerPanic`] degradation event instead of
+/// aborting the process.
+#[allow(clippy::too_many_arguments)]
+fn execute_chunk(
+    proto: &AigSimulatorWide<'_>,
+    constraint: AigLit,
+    template: &[Member],
+    config: &SimFilterConfig,
+    stimulus: &(dyn Fn(&mut StdRng, &mut [u64]) + Sync),
+    seed: u64,
+    chunk: usize,
+    real: usize,
+    allowed_cycles: usize,
+    governor: &Governor,
+    words: usize,
+) -> ChunkOutcome {
+    let mut killed = vec![0u64; words];
+    let mut dropped = vec![0u64; words];
+    let mut stats = SimFilterStats::default();
+    let mut events = Vec::new();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_chunk(
+            proto,
+            constraint,
+            template,
+            config,
+            stimulus,
+            seed,
+            chunk,
+            real,
+            allowed_cycles,
+            governor,
+            &mut killed,
+            &mut dropped,
+            &mut stats,
+            &mut events,
+        )
+    }));
+    if let Err(payload) = outcome {
+        let mut n = 0usize;
+        for m in template {
+            let w = m.cand as usize / 64;
+            let b = 1u64 << (m.cand % 64);
+            if killed[w] & b == 0 && dropped[w] & b == 0 {
+                dropped[w] |= b;
+                n += 1;
+            }
+        }
+        events.push(DegradationEvent {
+            stage: Stage::Falsify,
+            cause: Cause::WorkerPanic,
+            dropped: n,
+            detail: format!("chunk {chunk}: {}", panic_message(payload.as_ref())),
+        });
+    }
+    ChunkOutcome {
+        chunk,
+        killed,
+        dropped,
+        stats,
+        events,
+    }
 }
 
 /// Run constrained random simulation and drop every candidate that is
@@ -290,10 +437,52 @@ pub fn simulate_filter_with_stats(
     stimulus: &(dyn Fn(&mut StdRng, &mut [u64]) + Sync),
     seed: u64,
 ) -> (Vec<Candidate>, SimFilterStats) {
+    let (survivors, stats, events) = simulate_filter_governed(
+        na,
+        constraint,
+        candidates,
+        config,
+        stimulus,
+        seed,
+        &Governor::unlimited(),
+    );
+    debug_assert!(events.is_empty(), "an unlimited governor cannot degrade");
+    (survivors, stats)
+}
+
+/// [`simulate_filter_with_stats`] under a shared [`Governor`]: honors the
+/// global cycle budget, deadline, cancellation, and any armed fault plan,
+/// and additionally returns the degradation events describing what was cut.
+///
+/// Soundness under degradation: every chunk that stops before completing
+/// its full vetting (cycle-budget truncation, deadline, cancellation, or an
+/// isolated worker panic) *drops* its still-alive candidates — they are
+/// excluded from the survivors exactly as if simulation had falsified them.
+/// Degraded survivors are therefore always a subset of the fault-free
+/// survivors, and since the downstream Houdini fixpoint is monotone in its
+/// input set, degraded proofs are a subset of fault-free proofs.
+///
+/// Determinism: the global cycle budget is pre-apportioned over chunks in
+/// fixed chunk order, so budget-truncation results are bit-identical for
+/// every `threads` value, like the ungoverned engine. Deadline and
+/// cancellation cuts depend on wall-clock timing and are inherently
+/// nondeterministic (but still sound).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_filter_governed(
+    na: &NetlistAig,
+    constraint: AigLit,
+    candidates: &[Candidate],
+    config: &SimFilterConfig,
+    stimulus: &(dyn Fn(&mut StdRng, &mut [u64]) + Sync),
+    seed: u64,
+    governor: &Governor,
+) -> (Vec<Candidate>, SimFilterStats, Vec<DegradationEvent>) {
     let resolved = resolve_candidates(na, candidates);
     let words = candidates.len().div_ceil(64);
     let mut killed = vec![0u64; words];
+    let mut dropped = vec![0u64; words];
     let mut stats = SimFilterStats::default();
+    let mut events = Vec::new();
     for &i in &resolved.prekilled {
         killed[i as usize / 64] |= 1u64 << (i % 64);
     }
@@ -302,74 +491,106 @@ pub fn simulate_filter_with_stats(
     let blocks = config.lane_blocks.max(1);
     let chunks = blocks.div_ceil(SIM_WIDTH);
     let threads = config.threads.max(1).min(chunks);
+    let real_of = |chunk: usize| SIM_WIDTH.min(blocks - chunk * SIM_WIDTH);
 
-    if threads == 1 {
-        for chunk in 0..chunks {
-            let base = chunk * SIM_WIDTH;
-            run_chunk(
-                &proto,
-                constraint,
-                &resolved.members,
-                config,
-                stimulus,
-                seed,
-                base as u64,
-                SIM_WIDTH.min(blocks - base),
-                &mut killed,
-                &mut stats,
-            );
-        }
+    // Deterministic apportionment of the remaining global cycle budget:
+    // allowances are fixed per chunk (in chunk order) *before* any worker
+    // starts, so budget truncation cannot depend on thread scheduling. A
+    // chunk burns `real` block-cycles per simulated cycle.
+    let allowance: Vec<usize> = match governor.remaining_cycles() {
+        None => vec![config.cycles; chunks],
+        Some(mut remaining) => (0..chunks)
+            .map(|chunk| {
+                let real = real_of(chunk) as u64;
+                let alloc = (remaining / real).min(config.cycles as u64);
+                remaining -= alloc * real;
+                alloc as usize
+            })
+            .collect(),
+    };
+
+    let mut outcomes: Vec<ChunkOutcome> = if threads == 1 {
+        (0..chunks)
+            .map(|chunk| {
+                execute_chunk(
+                    &proto,
+                    constraint,
+                    &resolved.members,
+                    config,
+                    stimulus,
+                    seed,
+                    chunk,
+                    real_of(chunk),
+                    allowance[chunk],
+                    governor,
+                    words,
+                )
+            })
+            .collect()
     } else {
-        let mut partials: Vec<(Vec<u64>, SimFilterStats)> = std::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let proto = &proto;
                     let members = &resolved.members;
+                    let allowance = &allowance;
                     scope.spawn(move || {
-                        let mut killed = vec![0u64; words];
-                        let mut stats = SimFilterStats::default();
+                        let mut out = Vec::new();
                         let mut chunk = t;
                         while chunk < chunks {
-                            let base = chunk * SIM_WIDTH;
-                            run_chunk(
+                            out.push(execute_chunk(
                                 proto,
                                 constraint,
                                 members,
                                 config,
                                 stimulus,
                                 seed,
-                                base as u64,
-                                SIM_WIDTH.min(blocks - base),
-                                &mut killed,
-                                &mut stats,
-                            );
+                                chunk,
+                                real_of(chunk),
+                                allowance[chunk],
+                                governor,
+                                words,
+                            ));
                             chunk += threads;
                         }
-                        (killed, stats)
+                        out
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
-        // Barrier merge: OR the kill sets, sum the counters. Both are
-        // order-insensitive, which is what makes `threads` irrelevant to
-        // the result.
-        for (bits, s) in partials.drain(..) {
-            for (dst, src) in killed.iter_mut().zip(&bits) {
-                *dst |= src;
-            }
-            stats.absorb(&s);
+            handles
+                .into_iter()
+                .flat_map(|h| {
+                    // Chunk panics are caught inside execute_chunk; a panic
+                    // escaping to here is an engine bug, not input-driven.
+                    h.join().expect("sim worker panicked outside the chunk boundary")
+                })
+                .collect()
+        })
+    };
+    // Merge in chunk order: kills and drops are order-insensitive unions,
+    // but event order should read as chunk order regardless of scheduling.
+    outcomes.sort_unstable_by_key(|o| o.chunk);
+    for o in &outcomes {
+        for (dst, src) in killed.iter_mut().zip(&o.killed) {
+            *dst |= src;
         }
+        for (dst, src) in dropped.iter_mut().zip(&o.dropped) {
+            *dst |= src;
+        }
+        stats.absorb(&o.stats);
+    }
+    for o in outcomes {
+        events.extend(o.events);
     }
 
     stats.kills = killed.iter().map(|w| w.count_ones() as u64).sum();
     let survivors = candidates
         .iter()
         .enumerate()
-        .filter(|&(i, _)| killed[i / 64] & (1u64 << (i % 64)) == 0)
+        .filter(|&(i, _)| (killed[i / 64] | dropped[i / 64]) & (1u64 << (i % 64)) == 0)
         .map(|(_, c)| *c)
         .collect();
-    (survivors, stats)
+    (survivors, stats, events)
 }
 
 /// [`simulate_filter_with_stats`] without the counters.
@@ -681,5 +902,146 @@ mod tests {
         );
         assert_eq!(stats0.restarts, 0);
         assert!(stats0.candidate_cycles > 0);
+    }
+
+    /// A small design with a mix of true and false candidates, used by the
+    /// governance tests.
+    fn governed_fixture() -> (Netlist, pdat_aig::NetlistAig, Vec<Candidate>) {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_cell(CellKind::Xor2, &[a, b], "x");
+        let y = nl.add_cell(CellKind::And2, &[a, x], "y");
+        let z = nl.add_cell(CellKind::Or2, &[y, b], "z");
+        nl.add_output("z", z);
+        let conv = netlist_to_aig(&nl, &[]);
+        let cands = crate::candidates_for_netlist(&nl, &conv);
+        (nl, conv, cands)
+    }
+
+    #[test]
+    fn cycle_budget_truncation_is_sound_and_thread_invariant() {
+        use pdat_governor::{Cause, Governor, GovernorConfig};
+        let (_nl, conv, cands) = governed_fixture();
+        let config = SimFilterConfig {
+            cycles: 48,
+            lane_blocks: 9, // 3 chunks
+            threads: 1,
+            restart_threshold: 8,
+        };
+        let (free, _) = simulate_filter_with_stats(
+            &conv,
+            AigLit::TRUE,
+            &cands,
+            &config,
+            &random_stimulus,
+            0xBEEF,
+        );
+        // Budget covers roughly half the full run's block-cycles, so some
+        // chunk must be truncated.
+        let mut previous = None;
+        for threads in [1, 2, 4] {
+            let g = Governor::new(&GovernorConfig {
+                cycle_budget: Some(300),
+                ..Default::default()
+            });
+            let got = simulate_filter_governed(
+                &conv,
+                AigLit::TRUE,
+                &cands,
+                &SimFilterConfig { threads, ..config.clone() },
+                &random_stimulus,
+                0xBEEF,
+                &g,
+            );
+            assert!(
+                got.0.iter().all(|c| free.contains(c)),
+                "degraded survivors must be a subset of the fault-free ones"
+            );
+            assert!(
+                got.2.iter().any(|e| e.cause == Cause::CycleBudget),
+                "the truncation must be reported"
+            );
+            if let Some(prev) = &previous {
+                assert_eq!(prev, &got, "threads={threads} changed the governed result");
+            }
+            previous = Some(got);
+        }
+    }
+
+    #[test]
+    fn zero_cycle_budget_drops_every_candidate() {
+        use pdat_governor::{Governor, GovernorConfig};
+        let (_nl, conv, cands) = governed_fixture();
+        let g = Governor::new(&GovernorConfig {
+            cycle_budget: Some(0),
+            ..Default::default()
+        });
+        let (survivors, stats, events) = simulate_filter_governed(
+            &conv,
+            AigLit::TRUE,
+            &cands,
+            &SimFilterConfig::default(),
+            &random_stimulus,
+            1,
+            &g,
+        );
+        assert!(survivors.is_empty(), "nothing was vetted, nothing survives");
+        assert_eq!(stats.cycles, 0);
+        let dropped: usize = events.iter().map(|e| e.dropped).sum();
+        assert_eq!(dropped, cands.len());
+    }
+
+    #[test]
+    fn injected_worker_panic_is_isolated_and_sound() {
+        use pdat_governor::{Cause, FaultPlan, Governor, GovernorConfig};
+        let (_nl, conv, cands) = governed_fixture();
+        let config = SimFilterConfig {
+            cycles: 48,
+            lane_blocks: 9, // 3 chunks
+            threads: 4,
+            restart_threshold: 8,
+        };
+        let (free, _) = simulate_filter_with_stats(
+            &conv,
+            AigLit::TRUE,
+            &cands,
+            &config,
+            &random_stimulus,
+            0xBEEF,
+        );
+        let g = Governor::new(&GovernorConfig {
+            fault_plan: FaultPlan {
+                solver_unknown_after_conflicts: None,
+                // Cycle 0 so the fault fires before the chunk can finish
+                // vetting (kills can empty the alive set within a cycle or
+                // two on a design this small).
+                sim_panic_at: Some((1, 0)),
+            },
+            ..Default::default()
+        });
+        // Must not abort the process; the panicking chunk degrades instead.
+        // Silence the default hook around the injected panic so the test
+        // log stays readable.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let (survivors, _, events) = simulate_filter_governed(
+            &conv,
+            AigLit::TRUE,
+            &cands,
+            &config,
+            &random_stimulus,
+            0xBEEF,
+            &g,
+        );
+        std::panic::set_hook(hook);
+        assert!(
+            events.iter().any(|e| e.cause == Cause::WorkerPanic),
+            "the isolated panic must be reported: {events:?}"
+        );
+        assert!(
+            survivors.iter().all(|c| free.contains(c)),
+            "post-panic survivors must be a subset of the fault-free ones"
+        );
     }
 }

@@ -30,7 +30,7 @@ mod validate;
 
 pub use cell::{CellKind, CellLibrary, CELL_LIBRARY};
 pub use format::{parse_netlist, write_netlist, ParseNetlistError};
-pub use netlist::{Cell, CellId, Driver, Net, NetId, Netlist, PortDir};
+pub use netlist::{Cell, CellId, Driver, Net, NetId, Netlist, NetlistOpError, PortDir};
 pub use sim::Simulator;
 pub use stats::NetlistStats;
 pub use validate::ValidateError;

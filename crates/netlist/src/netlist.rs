@@ -69,6 +69,53 @@ pub struct Cell {
     pub init: bool,
 }
 
+/// Error from a fallible netlist mutation ([`Netlist::try_connect_cell`],
+/// [`Netlist::try_assign_alias`]). The panicking variants of those methods
+/// exist for programmatic construction where a violation is a caller bug;
+/// input-facing code (the structural-format parser) uses the `try_` forms
+/// so malformed input surfaces as an error, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistOpError {
+    /// A cell was instantiated with the wrong number of input pins.
+    PinCountMismatch {
+        /// The cell kind being instantiated.
+        kind: CellKind,
+        /// Pins the kind requires.
+        expected: usize,
+        /// Pins actually supplied.
+        got: usize,
+    },
+    /// The would-be output net already has a driver.
+    AlreadyDriven {
+        /// Name of the doubly-driven net.
+        net: String,
+    },
+    /// An alias from a net to itself (a combinational loop).
+    SelfAlias {
+        /// Name of the net.
+        net: String,
+    },
+}
+
+impl fmt::Display for NetlistOpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistOpError::PinCountMismatch {
+                kind,
+                expected,
+                got,
+            } => write!(
+                f,
+                "pin count mismatch instantiating {kind}: expected {expected}, got {got}"
+            ),
+            NetlistOpError::AlreadyDriven { net } => write!(f, "net `{net}` already driven"),
+            NetlistOpError::SelfAlias { net } => write!(f, "self-alias of net `{net}`"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistOpError {}
+
 /// How a net is driven.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Driver {
@@ -207,17 +254,36 @@ impl Netlist {
     /// # Panics
     ///
     /// Panics if `output` already has a driver or the pin count mismatches.
+    /// Use [`Netlist::try_connect_cell`] when the request derives from
+    /// untrusted input.
     pub fn connect_cell(&mut self, kind: CellKind, inputs: &[NetId], output: NetId, init: bool) {
-        assert_eq!(
-            inputs.len(),
-            kind.num_inputs(),
-            "pin count mismatch instantiating {kind}"
-        );
-        assert!(
-            matches!(self.drivers[output.index()], Driver::None),
-            "net `{}` already driven",
-            self.nets[output.index()].name
-        );
+        if let Err(e) = self.try_connect_cell(kind, inputs, output, init) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`Netlist::connect_cell`]: reports a wrong pin count or an
+    /// already-driven output as an error instead of panicking. On error the
+    /// netlist is unchanged.
+    pub fn try_connect_cell(
+        &mut self,
+        kind: CellKind,
+        inputs: &[NetId],
+        output: NetId,
+        init: bool,
+    ) -> Result<(), NetlistOpError> {
+        if inputs.len() != kind.num_inputs() {
+            return Err(NetlistOpError::PinCountMismatch {
+                kind,
+                expected: kind.num_inputs(),
+                got: inputs.len(),
+            });
+        }
+        if !matches!(self.drivers[output.index()], Driver::None) {
+            return Err(NetlistOpError::AlreadyDriven {
+                net: self.nets[output.index()].name.clone(),
+            });
+        }
         let cid = CellId(self.cells.len() as u32);
         self.cells.push(Cell {
             kind,
@@ -226,6 +292,7 @@ impl Netlist {
             init,
         });
         self.drivers[output.index()] = Driver::Cell(cid);
+        Ok(())
     }
 
     /// Rewire: detach `net` from its current driver and tie it to `value`.
@@ -243,9 +310,24 @@ impl Netlist {
     /// # Panics
     ///
     /// Panics if `net == src` (self-alias would be a combinational loop).
+    /// Use [`Netlist::try_assign_alias`] when the request derives from
+    /// untrusted input.
     pub fn assign_alias(&mut self, net: NetId, src: NetId) {
-        assert_ne!(net, src, "self-alias");
+        if let Err(e) = self.try_assign_alias(net, src) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`Netlist::assign_alias`]: reports a self-alias as an error
+    /// instead of panicking. On error the netlist is unchanged.
+    pub fn try_assign_alias(&mut self, net: NetId, src: NetId) -> Result<(), NetlistOpError> {
+        if net == src {
+            return Err(NetlistOpError::SelfAlias {
+                net: self.nets[net.index()].name.clone(),
+            });
+        }
         self.drivers[net.index()] = Driver::Alias(src);
+        Ok(())
     }
 
     /// Number of nets.

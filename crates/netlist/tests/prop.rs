@@ -94,4 +94,63 @@ proptest! {
         let tie_count = nl.cells().filter(|(_, c)| c.kind.is_tie()).count();
         prop_assert_eq!(stats.gate_count + tie_count, nl.num_cells());
     }
+
+    /// Malformed-input corpus: mutate a well-formed netlist file by
+    /// truncating it, flipping bytes, and duplicating `net` declarations.
+    /// The parser must stay total — every outcome is `Ok` or a structured
+    /// `ParseNetlistError`; no panic may escape the library.
+    #[test]
+    fn parser_never_panics_on_corrupted_input(
+        recipe in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>(), any::<bool>()), 1..24),
+        cut in any::<u16>(),
+        flips in prop::collection::vec((any::<u16>(), any::<u8>()), 0..8),
+        dup_line in any::<u8>(),
+    ) {
+        let nl = build_netlist(&recipe, 3);
+        let text = write_netlist(&nl);
+
+        // Truncation at an arbitrary byte offset (clamped to a char
+        // boundary so the corruption stays valid UTF-8; the parser only
+        // ever sees &str).
+        let mut end = cut as usize % (text.len() + 1);
+        while !text.is_char_boundary(end) {
+            end -= 1;
+        }
+        let mut bytes = text[..end].as_bytes().to_vec();
+
+        // Bit flips anywhere in the remaining bytes.
+        for (pos, bit) in &flips {
+            if bytes.is_empty() {
+                break;
+            }
+            let i = *pos as usize % bytes.len();
+            bytes[i] ^= 1 << (bit % 8);
+        }
+        let mut corrupted = String::from_utf8_lossy(&bytes).into_owned();
+
+        // Duplicate one line (often a `net` declaration) verbatim.
+        let lines: Vec<&str> = corrupted.lines().collect();
+        if !lines.is_empty() {
+            let dup = lines[dup_line as usize % lines.len()].to_string();
+            corrupted.push('\n');
+            corrupted.push_str(&dup);
+        }
+        corrupted.push_str("\nnet dup_x\nnet dup_x\n");
+
+        // Any outcome but a panic is acceptable; errors must carry a
+        // position inside the corrupted text.
+        match parse_netlist(&corrupted) {
+            Ok(parsed) => {
+                // A parse that succeeds may still describe an invalid
+                // circuit; validation must also be total.
+                let _ = parsed.validate();
+            }
+            Err(e) => {
+                prop_assert!(e.line >= 1);
+                prop_assert!(e.column >= 1);
+                // Display formatting must not panic either.
+                let _ = e.to_string();
+            }
+        }
+    }
 }

@@ -1,5 +1,6 @@
 //! The CDCL solver implementation.
 
+use pdat_governor::Governor;
 use std::fmt;
 
 /// A boolean variable.
@@ -130,9 +131,11 @@ pub struct Solver {
     seen: Vec<bool>,
     // stats / limits
     conflicts: u64,
+    solve_conflicts: u64, // conflicts in the current/most recent solve call
     decisions: u64,
     propagations: u64,
     conflict_budget: Option<u64>,
+    governor: Option<Governor>,
     ok: bool,
     cla_inc: f32,
     learnt_cap: usize,
@@ -163,9 +166,11 @@ impl Solver {
             polarity: Vec::new(),
             seen: Vec::new(),
             conflicts: 0,
+            solve_conflicts: 0,
             decisions: 0,
             propagations: 0,
             conflict_budget: None,
+            governor: None,
             ok: true,
             cla_inc: 1.0,
             learnt_cap: 8192,
@@ -214,11 +219,45 @@ impl Solver {
     }
 
     /// Limit the number of conflicts per [`Solver::solve`] call; `None`
-    /// removes the limit. When exhausted, `solve` returns
-    /// [`SolveResult::Unknown`] — the PDAT pipeline treats that as "property
-    /// unproved", which is safe (paper §VII-C).
+    /// removes the limit. The counter resets at the start of every solve
+    /// call, so a budget of `b` allows up to `b` conflicts *each* call (a
+    /// budget of 0 makes every call return immediately). When exhausted,
+    /// `solve` returns [`SolveResult::Unknown`] — the PDAT pipeline treats
+    /// that as "property unproved", which is safe (paper §VII-C).
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget;
+    }
+
+    /// The per-solve conflict budget currently in force.
+    pub fn conflict_budget(&self) -> Option<u64> {
+        self.conflict_budget
+    }
+
+    /// Conflicts spent by the most recent solve call (0 before any call).
+    pub fn conflicts_last_solve(&self) -> u64 {
+        self.solve_conflicts
+    }
+
+    /// Budget left over from the most recent solve call: per-solve budget
+    /// minus [`Solver::conflicts_last_solve`] (`None` = unlimited). A
+    /// governor uses this to apportion a global budget across successive
+    /// queries without double-counting what the last query returned unused.
+    pub fn remaining_conflict_budget(&self) -> Option<u64> {
+        self.conflict_budget
+            .map(|b| b.saturating_sub(self.solve_conflicts))
+    }
+
+    /// Attach a shared [`Governor`]: every conflict is charged to its
+    /// global budget, and the search stops with [`SolveResult::Unknown`]
+    /// when the governor reports exhaustion (global conflict cap, deadline,
+    /// cancellation, or an armed solver fault).
+    pub fn set_governor(&mut self, governor: Governor) {
+        self.governor = Some(governor);
+    }
+
+    /// Detach the governor (the per-solve budget still applies).
+    pub fn clear_governor(&mut self) {
+        self.governor = None;
     }
 
     fn lit_value(&self, l: Lit) -> u8 {
@@ -546,10 +585,17 @@ impl Solver {
         if !self.ok {
             return SolveResult::Unsat;
         }
-        let budget_start = self.conflicts;
+        self.solve_conflicts = 0;
+        // A zero budget or an already-exhausted governor means no work is
+        // authorized: report Unknown before touching the search state.
+        if self.conflict_budget == Some(0)
+            || self.governor.as_ref().is_some_and(|g| g.solver_should_stop())
+        {
+            return SolveResult::Unknown;
+        }
         let mut restart_idx = 0u64;
         let result = loop {
-            match self.search(assumptions, luby(restart_idx) * 100, budget_start) {
+            match self.search(assumptions, luby(restart_idx) * 100) {
                 SearchOutcome::Sat => break SolveResult::Sat,
                 SearchOutcome::Unsat => break SolveResult::Unsat,
                 SearchOutcome::Restart => {
@@ -604,18 +650,17 @@ impl Solver {
         }
     }
 
-    fn search(
-        &mut self,
-        assumptions: &[Lit],
-        conflicts_before_restart: u64,
-        budget_start: u64,
-    ) -> SearchOutcome {
+    fn search(&mut self, assumptions: &[Lit], conflicts_before_restart: u64) -> SearchOutcome {
         self.restore_invariants();
         let mut local_conflicts = 0u64;
         loop {
             if let Some(confl) = self.propagate() {
                 self.conflicts += 1;
+                self.solve_conflicts += 1;
                 local_conflicts += 1;
+                if let Some(g) = &self.governor {
+                    g.charge_conflict();
+                }
                 if self.decision_level() == 0 {
                     // Root-level conflict: the formula itself is
                     // unsatisfiable, permanently. Latching this is required
@@ -662,9 +707,12 @@ impl Solver {
                     self.learnt_cap += self.learnt_cap / 10;
                 }
                 if let Some(b) = self.conflict_budget {
-                    if self.conflicts - budget_start >= b {
+                    if self.solve_conflicts >= b {
                         return SearchOutcome::BudgetExhausted;
                     }
+                }
+                if self.governor.as_ref().is_some_and(|g| g.solver_should_stop()) {
+                    return SearchOutcome::BudgetExhausted;
                 }
                 if local_conflicts >= conflicts_before_restart
                     && self.decision_level() > assumptions.len() as u32
@@ -694,6 +742,17 @@ impl Solver {
                     None => return SearchOutcome::Sat,
                     Some(v) => {
                         self.decisions += 1;
+                        // Conflict-free stretches (pure propagation) can run
+                        // long on large encodings; poll deadline/cancellation
+                        // every 1024 decisions so they still bite.
+                        if self.decisions & 0x3FF == 0
+                            && self
+                                .governor
+                                .as_ref()
+                                .is_some_and(|g| g.is_cancelled() || g.deadline_exceeded())
+                        {
+                            return SearchOutcome::BudgetExhausted;
+                        }
                         self.trail_lim.push(self.trail.len());
                         let phase = self.polarity[v.index()];
                         self.unchecked_enqueue(Lit::with_phase(v, phase), None);
@@ -814,6 +873,89 @@ mod tests {
         assert_eq!(!Lit::pos(v), Lit::neg(v));
         assert_eq!(Lit::pos(v).var(), v);
         assert_eq!(Lit::with_phase(v, false), Lit::neg(v));
+    }
+
+    /// Hard-enough UNSAT instance: n pigeons into m holes.
+    fn pigeonhole(n: usize, m: usize) -> Solver {
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..n)
+            .map(|_| (0..m).map(|_| s.new_var()).collect())
+            .collect();
+        for pi in p.iter() {
+            let c: Vec<Lit> = pi.iter().map(|&v| Lit::pos(v)).collect();
+            s.add_clause(&c);
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in i1 + 1..n {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn conflict_budget_is_per_solve_call() {
+        let mut s = pigeonhole(9, 8);
+        s.set_conflict_budget(Some(10));
+        // Every call gets a fresh 10-conflict allowance: repeated calls keep
+        // returning Unknown after exactly the budget, never Unsat-by-accident
+        // and never less work because an earlier call "used up" the counter.
+        for _ in 0..3 {
+            assert_eq!(s.solve(), SolveResult::Unknown);
+            assert_eq!(s.conflicts_last_solve(), 10);
+            assert_eq!(s.remaining_conflict_budget(), Some(0));
+        }
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.remaining_conflict_budget(), None);
+    }
+
+    #[test]
+    fn zero_conflict_budget_returns_unknown_immediately() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[Lit::pos(a)]);
+        s.set_conflict_budget(Some(0));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.conflicts_last_solve(), 0);
+    }
+
+    #[test]
+    fn governor_conflict_cap_forces_unknown() {
+        use pdat_governor::{Cause, GovernorConfig};
+        let g = Governor::new(&GovernorConfig {
+            conflict_budget: Some(5),
+            ..Default::default()
+        });
+        let mut s = pigeonhole(9, 8);
+        s.set_governor(g.clone());
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(g.conflicts_used(), 5);
+        assert_eq!(g.exhausted(), Some(Cause::ConflictBudget));
+        // Once the global budget is gone, later calls stop at entry.
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.conflicts_last_solve(), 0);
+    }
+
+    #[test]
+    fn governor_fault_forces_unknown_at_entry() {
+        use pdat_governor::{FaultPlan, GovernorConfig};
+        let g = Governor::new(&GovernorConfig {
+            fault_plan: FaultPlan {
+                solver_unknown_after_conflicts: Some(0),
+                sim_panic_at: None,
+            },
+            ..Default::default()
+        });
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[Lit::pos(a)]);
+        s.set_governor(g);
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.clear_governor();
+        assert_eq!(s.solve(), SolveResult::Sat);
     }
 }
 

@@ -32,6 +32,7 @@
 //! assert!(report.passes >= 1);
 //! ```
 
+use pdat_governor::{Cause, DegradationEvent, Governor, Stage};
 use pdat_netlist::{CellKind, Driver, NetId, Netlist};
 use std::collections::HashMap;
 
@@ -44,6 +45,10 @@ pub struct SynthReport {
     pub cells_before: usize,
     /// Cells after.
     pub cells_after: usize,
+    /// True when a deadline or cancellation cut the fixpoint loop short.
+    /// The returned netlist is still valid and behaviour-preserving — each
+    /// pass is sound in isolation — it is merely less optimized.
+    pub stopped_early: bool,
 }
 
 /// A net's resolved value during a pass.
@@ -57,10 +62,43 @@ enum Sig {
 /// Optimize a (possibly rewired) netlist. Returns the transformed netlist
 /// and a report. Port names and order are preserved.
 pub fn resynthesize(nl: &Netlist) -> (Netlist, SynthReport) {
+    let (out, report, _events) = resynthesize_governed(nl, &Governor::unlimited());
+    (out, report)
+}
+
+/// Governed variant of [`resynthesize`]: the fixpoint loop polls the
+/// governor between passes and stops early on deadline or cancellation,
+/// returning the best netlist reached so far.
+///
+/// Each optimization pass is individually behaviour-preserving, so an
+/// early stop degrades optimization quality, never correctness — the
+/// result is a valid netlist equivalent to the input, just with more
+/// cells than the fixpoint would leave.
+pub fn resynthesize_governed(
+    nl: &Netlist,
+    governor: &Governor,
+) -> (Netlist, SynthReport, Vec<DegradationEvent>) {
     let mut cur = nl.clone();
     let mut passes = 0;
     let cells_before = nl.num_cells();
+    let mut stopped_early = false;
+    let mut events = Vec::new();
     loop {
+        if governor.is_cancelled() || governor.deadline_exceeded() {
+            let cause = if governor.is_cancelled() {
+                Cause::Cancelled
+            } else {
+                Cause::Deadline
+            };
+            stopped_early = true;
+            events.push(DegradationEvent {
+                stage: Stage::Resynthesize,
+                cause,
+                dropped: 0,
+                detail: format!("fixpoint loop stopped after {passes} passes"),
+            });
+            break;
+        }
         passes += 1;
         let (next, changed) = one_pass(&cur);
         cur = next;
@@ -72,8 +110,9 @@ pub fn resynthesize(nl: &Netlist) -> (Netlist, SynthReport) {
         passes,
         cells_before,
         cells_after: cur.num_cells(),
+        stopped_early,
     };
-    (cur, report)
+    (cur, report, events)
 }
 
 fn one_pass(nl: &Netlist) -> (Netlist, bool) {
@@ -786,6 +825,33 @@ mod tests {
         let y = nl.add_cell(CellKind::Xor2, &[q, c], "y");
         nl.add_output("y", y);
         nl
+    }
+
+    #[test]
+    fn cancelled_governor_stops_before_first_pass() {
+        let nl = pdat_rtl_test_design();
+        let gov = Governor::unlimited();
+        gov.cancel();
+        let (opt, report, events) = resynthesize_governed(&nl, &gov);
+        assert!(report.stopped_early);
+        assert_eq!(report.passes, 0);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].cause, Cause::Cancelled);
+        assert_eq!(events[0].stage, Stage::Resynthesize);
+        // The untouched netlist is still the valid input clone.
+        opt.validate().unwrap();
+        assert_eq!(opt.num_cells(), nl.num_cells());
+    }
+
+    #[test]
+    fn unlimited_governor_reaches_fixpoint() {
+        let nl = pdat_rtl_test_design();
+        let (a, ra) = resynthesize(&nl);
+        let (b, rb, events) = resynthesize_governed(&nl, &Governor::unlimited());
+        assert!(!rb.stopped_early);
+        assert!(events.is_empty());
+        assert_eq!(ra, rb);
+        assert_eq!(a.num_cells(), b.num_cells());
     }
 
     #[test]

@@ -46,7 +46,7 @@ fn main() {
                 mode: ConstraintMode::CutpointBased,
             },
             &PdatConfig::default(),
-        );
+        ).expect("pdat run");
         println!(
             "{:<18} {:>6} {:>8} {:>10.0} {:>7.1}%",
             subset.name,

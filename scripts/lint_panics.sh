@@ -1,0 +1,32 @@
+#!/bin/sh
+# Grep-gate for panics in input-facing code.
+#
+# The netlist parser and validator are the crate surfaces that consume
+# untrusted text, so they must be total: every failure is a structured
+# error, never a panic. This lint strips `#[cfg(test)]` modules (tests
+# are free to unwrap) and rejects any `.unwrap()`, `.expect(`, `panic!`,
+# or `unreachable!` left in the shipped code paths of those files.
+set -eu
+cd "$(dirname "$0")/.."
+
+FILES="crates/netlist/src/format.rs crates/netlist/src/validate.rs"
+
+status=0
+for f in $FILES; do
+    # Drop everything from the `#[cfg(test)]` marker to end of file (the
+    # test module is always last in these files by convention).
+    stripped=$(sed '/#\[cfg(test)\]/,$d' "$f")
+    hits=$(printf '%s\n' "$stripped" \
+        | grep -nE '\.unwrap\(\)|\.expect\(|panic!|unreachable!' \
+        | grep -vE '^\s*[0-9]+:\s*//' || true)
+    if [ -n "$hits" ]; then
+        echo "lint_panics: $f has panic sites in non-test code:" >&2
+        printf '%s\n' "$hits" >&2
+        status=1
+    fi
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "lint_panics: OK ($FILES)"
+fi
+exit "$status"

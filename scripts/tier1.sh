@@ -12,5 +12,12 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
+sh scripts/lint_panics.sh
+
 cargo build --release
 cargo test -q --workspace
+
+# Robustness gate: sweep seeded fault schedules through the full pipeline
+# and check the graceful-degradation contract (no aborts, proved set
+# bounded by the fault-free oracle).
+./target/release/fault_smoke 12

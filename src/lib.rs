@@ -6,9 +6,12 @@
 //! system inventory.
 
 pub use pdat::{
-    run_pdat, run_pdat_with, rv_constraint, thumb_constraint, ConstraintMode, Environment,
-    ExtraRestriction, InstrConstraint, PdatConfig, PdatResult,
+    run_pdat, run_pdat_governed, run_pdat_with, rv_constraint, thumb_constraint, Candidate,
+    CandidateKind, Cause, ConstraintMode, DegradationEvent, Environment, ExtraRestriction,
+    FaultPlan, Governor, GovernorConfig, InstrConstraint, PdatConfig, PdatError, PdatResult,
+    Stage,
 };
+pub use pdat_governor as governor;
 pub use pdat_aig as aig;
 pub use pdat_cores as cores;
 pub use pdat_isa as isa;

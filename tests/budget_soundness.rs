@@ -1,0 +1,165 @@
+//! Satellite guarantee for the resource governor: starving any stage of
+//! its budget may only *shrink* the proved set, never grow it, and the
+//! pipeline always completes with a usable (if less optimized) result.
+//!
+//! Soundness argument (paper §VII-C): Houdini is monotone in its starting
+//! candidate set, and dropping a candidate is always safe — the rewiring
+//! stage simply has less to work with. A budget cut that conservatively
+//! drops still-unproved candidates therefore yields proved ⊆ fault-free
+//! proved.
+
+use pdat_repro::cores::build_ibex;
+use pdat_repro::isa::RvSubset;
+use pdat_repro::netlist::{CellKind, Netlist};
+use pdat_repro::{
+    run_pdat, Candidate, CandidateKind, Cause, ConstraintMode, Environment, PdatConfig,
+    PdatResult,
+};
+use std::collections::HashSet;
+
+type CandKey = (pdat_repro::netlist::NetId, CandidateKind);
+
+fn proved_set(res: &PdatResult) -> HashSet<CandKey> {
+    res.proved_invariants.iter().map(key).collect()
+}
+
+fn key(c: &Candidate) -> CandKey {
+    (c.net, c.kind)
+}
+
+/// The keyed-design fixture: a key DFF stuck at 1 gates a mux between the
+/// real function and a decoy. PDAT proves the key constant.
+fn keyed_design() -> Netlist {
+    let mut nl = Netlist::new("locked");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let fb = nl.add_net("fb");
+    let key = nl.add_dff(fb, true, "key");
+    nl.assign_alias(fb, key);
+    let t = nl.add_cell(CellKind::And2, &[a, b], "t");
+    let decoy = nl.add_cell(CellKind::Xor2, &[a, b], "decoy");
+    let out = nl.add_cell(CellKind::Mux2, &[decoy, t, key], "out");
+    nl.add_output("y", out);
+    nl
+}
+
+fn base_config() -> PdatConfig {
+    PdatConfig {
+        sim_cycles: 128,
+        conflict_budget: Some(40_000),
+        max_iterations: 1_000,
+        seed: 0xB0D6,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn conflict_budget_one_is_subset_on_keyed_design() {
+    let nl = keyed_design();
+    let free = run_pdat(&nl, &Environment::Unconstrained, &base_config()).expect("pdat run");
+    assert!(free.proved >= 1, "oracle run proves the key invariant");
+    assert!(free.degradations.is_empty(), "oracle run is unbudgeted");
+
+    let starved_cfg = PdatConfig {
+        conflict_budget: Some(1),
+        ..base_config()
+    };
+    let starved =
+        run_pdat(&nl, &Environment::Unconstrained, &starved_cfg).expect("pdat run");
+    let free_set = proved_set(&free);
+    let starved_set = proved_set(&starved);
+    assert!(
+        starved_set.is_subset(&free_set),
+        "budget starvation must not invent proofs"
+    );
+    // One conflict per query cannot complete the mutual-induction proof of
+    // the key latch: the starved run proves strictly less.
+    assert!(
+        starved_set.len() < free_set.len(),
+        "expected a strict subset: {} vs {}",
+        starved_set.len(),
+        free_set.len()
+    );
+    // And the result is still a valid, behaviour-preserving netlist.
+    starved.netlist.validate().expect("degraded netlist valid");
+    assert!(starved.optimized.gate_count <= starved.baseline.gate_count + 2);
+}
+
+#[test]
+fn zero_cycle_budget_drops_everything_but_completes() {
+    let nl = keyed_design();
+    let free = run_pdat(&nl, &Environment::Unconstrained, &base_config()).expect("pdat run");
+    assert!(free.proved >= 1);
+
+    let cfg = PdatConfig {
+        global_cycle_budget: Some(0),
+        ..base_config()
+    };
+    let starved = run_pdat(&nl, &Environment::Unconstrained, &cfg).expect("pdat run");
+    assert_eq!(
+        starved.sim_survivors, 0,
+        "no simulation budget means no vetted candidates"
+    );
+    assert_eq!(starved.proved, 0);
+    assert!(
+        starved
+            .degradations
+            .iter()
+            .any(|e| e.cause == Cause::CycleBudget),
+        "the cut must be recorded: {:?}",
+        starved.degradations
+    );
+    // Degradation is strict: the free run proves a nonempty set.
+    assert!(proved_set(&starved).is_subset(&proved_set(&free)));
+    starved.netlist.validate().expect("degraded netlist valid");
+}
+
+#[test]
+fn conflict_budget_one_is_subset_on_ibex() {
+    let core = build_ibex();
+    let subset = RvSubset::rv32i();
+    let env = Environment::Rv {
+        subset: &subset,
+        ports: vec![core.cut_fetch.clone()],
+        mode: ConstraintMode::CutpointBased,
+    };
+    let free = run_pdat(&core.netlist, &env, &base_config()).expect("pdat run");
+    assert!(free.proved >= 1, "oracle proves invariants on ibex");
+
+    let starved_cfg = PdatConfig {
+        conflict_budget: Some(1),
+        ..base_config()
+    };
+    let starved = run_pdat(&core.netlist, &env, &starved_cfg).expect("pdat run");
+    let free_set = proved_set(&free);
+    let starved_set = proved_set(&starved);
+    assert!(
+        starved_set.is_subset(&free_set),
+        "ibex: starved proofs must be a subset"
+    );
+    assert!(
+        starved_set.len() < free_set.len(),
+        "ibex: expected strict shrinkage, both {}",
+        free_set.len()
+    );
+    starved.netlist.validate().expect("degraded netlist valid");
+}
+
+#[test]
+fn global_conflict_budget_degrades_with_event() {
+    let nl = keyed_design();
+    let cfg = PdatConfig {
+        global_conflict_budget: Some(0),
+        ..base_config()
+    };
+    let res = run_pdat(&nl, &Environment::Unconstrained, &cfg).expect("pdat run");
+    assert_eq!(res.proved, 0);
+    assert!(
+        res.degradations
+            .iter()
+            .any(|e| e.cause == Cause::ConflictBudget),
+        "global conflict exhaustion must be recorded: {:?}",
+        res.degradations
+    );
+    res.netlist.validate().expect("degraded netlist valid");
+}

@@ -36,7 +36,7 @@ fn pinned_input_enables_removal() {
     nl.add_output("y", cheap);
 
     // Unrestricted: the gated pipeline stays.
-    let base = run_pdat(&nl, &Environment::Unconstrained, &fast_config());
+    let base = run_pdat(&nl, &Environment::Unconstrained, &fast_config()).expect("pdat run");
     assert!(base.optimized.dff_count == 8);
 
     // With `mode` pinned low the whole unit is provably dead.
@@ -48,7 +48,7 @@ fn pinned_input_enables_removal() {
             value: 0,
         }],
         &fast_config(),
-    );
+    ).expect("pdat run");
     assert_eq!(res.optimized.dff_count, 0, "pinned-mode unit removed");
     assert!(res.optimized.gate_count < base.optimized.gate_count);
 }
@@ -101,7 +101,7 @@ fn code_at_reset_address_is_respected() {
     nl.validate().unwrap();
 
     // Without the mapping, `boot` can be set: it survives.
-    let base = run_pdat(&nl, &Environment::Unconstrained, &fast_config());
+    let base = run_pdat(&nl, &Environment::Unconstrained, &fast_config()).expect("pdat run");
     assert!(base.optimized.dff_count >= 3, "boot latch must survive");
 
     // With the reset-address word pinned, `boot` is provably stuck at 0.
@@ -115,7 +115,7 @@ fn code_at_reset_address_is_respected() {
             word: want,
         }],
         &fast_config(),
-    );
+    ).expect("pdat run");
     assert!(
         res.optimized.dff_count < base.optimized.dff_count,
         "boot latch removed under the code-at-reset mapping: {} vs {}",
@@ -142,7 +142,7 @@ fn combined_isa_and_pin_restrictions_on_ibex() {
             value: 0,
         }],
         &fast_config(),
-    );
+    ).expect("pdat run");
     let plain = run_pdat(
         &core.netlist,
         &Environment::Rv {
@@ -151,7 +151,7 @@ fn combined_isa_and_pin_restrictions_on_ibex() {
             mode: ConstraintMode::CutpointBased,
         },
         &fast_config(),
-    );
+    ).expect("pdat run");
     assert!(
         res.optimized.gate_count <= plain.optimized.gate_count,
         "extra restriction can only help: {} vs {}",

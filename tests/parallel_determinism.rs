@@ -32,7 +32,7 @@ fn run(threads: usize) -> PdatResult {
             mode: ConstraintMode::CutpointBased,
         },
         &config_with_threads(threads),
-    )
+    ).expect("pdat run")
 }
 
 #[test]
