@@ -96,6 +96,7 @@ fn bench_no_sim_filter(c: &mut Criterion) {
                 &HoudiniConfig {
                     conflict_budget: Some(5_000),
                     max_iterations: 200,
+                    ..Default::default()
                 },
             )
         })

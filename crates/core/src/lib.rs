@@ -60,7 +60,7 @@ pub use constraint::{rv_constraint, thumb_constraint, ConstraintMode, InstrConst
 pub use pdat_governor::{
     Cause, DegradationEvent, FaultPlan, Governor, GovernorConfig, Stage,
 };
-pub use pdat_mc::{Candidate, CandidateKind, HoudiniStats, SimFilterStats};
+pub use pdat_mc::{Candidate, CandidateKind, HoudiniStats, ProveConfig, ShardStats, SimFilterStats};
 pub use pipeline::{
     run_pdat, run_pdat_governed, run_pdat_with, Environment, ExtraRestriction, PdatConfig,
     PdatError, PdatResult,

@@ -7,7 +7,7 @@ use pdat_governor::{DegradationEvent, FaultPlan, Governor, GovernorConfig};
 use pdat_isa::{RvSubset, ThumbSubset};
 use pdat_mc::{
     candidates_for_netlist, houdini_prove_governed, simulate_filter_governed, Candidate,
-    CandidateKind, HoudiniConfig, HoudiniStats, SimFilterConfig, SimFilterStats,
+    CandidateKind, HoudiniConfig, HoudiniStats, ProveConfig, SimFilterConfig, SimFilterStats,
 };
 use pdat_netlist::{Driver, NetId, Netlist, NetlistStats, ParseNetlistError, ValidateError};
 use pdat_synth::resynthesize_governed;
@@ -35,6 +35,10 @@ pub struct PdatConfig {
     pub conflict_budget: Option<u64>,
     /// Maximum Houdini iterations.
     pub max_iterations: usize,
+    /// Sharding / incremental-solver knobs for the prove stage. `threads`
+    /// never changes results; `shard_size` fixes the deterministic
+    /// partition (and thereby the proved set under budget cuts).
+    pub prove: ProveConfig,
     /// RNG seed (the whole pipeline is deterministic per seed).
     pub seed: u64,
     /// Wall-clock deadline for the whole run. On expiry the pipeline
@@ -63,6 +67,7 @@ impl Default for PdatConfig {
             restart_threshold: 8,
             conflict_budget: Some(300_000),
             max_iterations: 10_000,
+            prove: ProveConfig::default(),
             seed: 0x9DA7,
             deadline: None,
             global_conflict_budget: None,
@@ -358,6 +363,7 @@ pub fn run_pdat_governed(
         &HoudiniConfig {
             conflict_budget: config.conflict_budget,
             max_iterations: config.max_iterations,
+            prove: config.prove.clone(),
         },
         governor,
     );

@@ -258,6 +258,38 @@ impl Governor {
         self.inner.conflicts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Charge `n` SAT conflicts at once. The solver batches its governor
+    /// traffic through this (one atomic add per batch instead of one per
+    /// conflict), which is what keeps the armed-governor overhead in the
+    /// propagation loop under the 2% budget.
+    pub fn charge_conflicts(&self, n: u64) {
+        if n > 0 {
+            self.inner.conflicts.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// How many more conflicts may be charged before either the global
+    /// conflict cap or an armed solver-fault threshold trips, `None` if
+    /// neither is armed. The solver uses this to size its charge batches:
+    /// charging in batches of at most `conflict_slack()` keeps the
+    /// *observable* counter exact at every stop decision, so exact-count
+    /// semantics (`conflicts_used() == cap`) survive batching.
+    pub fn conflict_slack(&self) -> Option<u64> {
+        let used = self.conflicts_used();
+        let cap_slack = self.inner.conflict_cap.map(|cap| cap.saturating_sub(used));
+        let fault_slack = self
+            .inner
+            .fault
+            .solver_unknown_after_conflicts
+            .map(|n| n.saturating_sub(used));
+        match (cap_slack, fault_slack) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
     /// Charge `n` simulated block-cycles to the global budget.
     pub fn charge_cycles(&self, n: u64) {
         self.inner.cycles.fetch_add(n, Ordering::Relaxed);
@@ -395,6 +427,36 @@ mod tests {
         assert!((0..64).any(|s| FaultPlan::from_seed(s).solver_unknown_after_conflicts.is_some()));
         assert!((0..64).any(|s| FaultPlan::from_seed(s).sim_panic_at.is_some()));
         assert!((0..64).any(|s| FaultPlan::from_seed(s).is_empty()));
+    }
+
+    #[test]
+    fn conflict_slack_tracks_cap_and_fault() {
+        let g = Governor::unlimited();
+        assert_eq!(g.conflict_slack(), None);
+
+        let g = Governor::new(&GovernorConfig {
+            conflict_budget: Some(10),
+            ..Default::default()
+        });
+        assert_eq!(g.conflict_slack(), Some(10));
+        g.charge_conflicts(7);
+        assert_eq!(g.conflict_slack(), Some(3));
+        g.charge_conflicts(0); // no-op
+        assert_eq!(g.conflicts_used(), 7);
+
+        // An armed fault threshold tightens the slack below the cap.
+        let g = Governor::new(&GovernorConfig {
+            conflict_budget: Some(100),
+            fault_plan: FaultPlan {
+                solver_unknown_after_conflicts: Some(4),
+                sim_panic_at: None,
+            },
+            ..Default::default()
+        });
+        assert_eq!(g.conflict_slack(), Some(4));
+        g.charge_conflicts(4);
+        assert_eq!(g.conflict_slack(), Some(0));
+        assert!(g.solver_should_stop());
     }
 
     #[test]

@@ -1,17 +1,90 @@
-//! Houdini-style mutual induction over a two-frame SAT encoding.
+//! Houdini-style mutual induction over a two-frame SAT encoding —
+//! incremental and sharded.
+//!
+//! # Query shape
+//!
+//! Each shard owns a deterministic slice of the candidate set but carries a
+//! *hypothesis* assumption literal for **every** candidate (frame 0) plus a
+//! failure detector for its **own** candidates (frame 1): per own candidate
+//! a selector `t_j` with `t_j → ¬holds_j@1`, folded into a balanced OR-tree
+//! whose root is assumed on every query. The query "do all alive candidates
+//! stay inductive?" is therefore a pure assumption list — hypotheses of the
+//! globally-alive set, in ascending candidate order, plus the tree root —
+//! and dropping a candidate is an assumption omission plus one unit clause
+//! on its fail selector, not a fresh activation variable and an
+//! ever-growing activation clause. All encoding clauses have ≤ 3 literals,
+//! so propagation stays local (the old single activation clause over
+//! thousands of indicator literals caused quadratic watch-list scans).
+//!
+//! # Cross-shard fixpoint
+//!
+//! A drop in one shard invalidates the hypothesis assumptions other shards
+//! made, so shards iterate rounds: every *dirty* shard re-solves against
+//! the current global alive snapshot, drops are merged **in shard order**,
+//! and a shard becomes dirty again only when a *different* shard dropped
+//! something that round. The fixpoint (no shard drops) is the same greatest
+//! inductive subset the sequential algorithm computes: Houdini's fixpoint
+//! is unique regardless of the order in which refuted candidates are
+//! removed, so the partition affects only the path, never the answer
+//! (budget cuts excepted — see below).
+//!
+//! # Determinism
+//!
+//! The proved set is bit-identical for any thread count: shard partition
+//! depends only on `shard_size`, each round pre-apportions the remaining
+//! global conflict allowance across dirty shards in shard order (the same
+//! fixed-order trick the falsification engine uses for cycle budgets), and
+//! a worker consults only its own allowance for drop decisions. The global
+//! conflict counter cannot force a stop while a shard still has allowance
+//! left (the apportioned shares sum to at most the pool), so budget cuts
+//! are allowance-driven and deterministic. Deadline and cancellation cuts
+//! are inherently time-driven and therefore *not* thread-deterministic,
+//! but remain sound — same caveat as the falsification engine. An armed
+//! solver fault trips on the shared counter, so faulted runs force
+//! sequential shard execution to stay reproducible.
 
 use crate::candidates::{Candidate, CandidateKind};
 use pdat_aig::{Aig, AigLit, Frame, FrameEncoder, NetlistAig};
 use pdat_governor::{Cause, DegradationEvent, Governor, Stage};
 use pdat_sat::{Lit, SolveResult, Solver};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// Knobs for the incremental, sharded prover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProveConfig {
+    /// Worker threads for dirty shards (clamped to ≥ 1; forced to 1 when a
+    /// solver fault is armed so injected faults stay reproducible). Never
+    /// affects results.
+    pub threads: usize,
+    /// Candidates per shard; 0 = one shard for everything. The partition —
+    /// and under budget cuts the proved set — depends on this value, never
+    /// on `threads`.
+    pub shard_size: usize,
+    /// Learnt-clause retention cap per shard solver (see
+    /// [`pdat_sat::Solver::set_clause_db_limit`]).
+    pub clause_db_limit: usize,
+}
+
+impl Default for ProveConfig {
+    fn default() -> Self {
+        ProveConfig {
+            threads: 4,
+            shard_size: 0,
+            clause_db_limit: 8192,
+        }
+    }
+}
 
 /// Proof-engine knobs.
 #[derive(Debug, Clone)]
 pub struct HoudiniConfig {
     /// SAT conflict budget per iteration query (`None` = unlimited).
     pub conflict_budget: Option<u64>,
-    /// Maximum Houdini iterations before giving up (dropping the rest).
+    /// Maximum SAT queries per shard before giving up (dropping the rest).
     pub max_iterations: usize,
+    /// Sharding / solver-reuse knobs.
+    pub prove: ProveConfig,
 }
 
 impl Default for HoudiniConfig {
@@ -19,28 +92,58 @@ impl Default for HoudiniConfig {
         HoudiniConfig {
             conflict_budget: Some(200_000),
             max_iterations: 10_000,
+            prove: ProveConfig::default(),
         }
     }
+}
+
+/// Per-shard solver and timing counters from a [`houdini_prove`] run.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Shard index (candidate-order position of the slice).
+    pub shard: usize,
+    /// Candidates owned by this shard.
+    pub candidates: usize,
+    /// Owned candidates proved.
+    pub proved: usize,
+    /// SAT queries issued by this shard across all rounds.
+    pub solves: usize,
+    /// SAT conflicts spent by this shard's solver.
+    pub conflicts: u64,
+    /// Propagations performed by this shard's solver.
+    pub propagations: u64,
+    /// Variables in this shard's encoding.
+    pub vars: usize,
+    /// Problem clauses in this shard's encoding.
+    pub clauses: usize,
+    /// Wall-clock seconds spent building the shard's frame encoding.
+    pub encode_seconds: f64,
+    /// Wall-clock seconds spent inside SAT queries.
+    pub solve_seconds: f64,
 }
 
 /// Statistics from a [`houdini_prove`] run.
 #[derive(Debug, Clone, Default)]
 pub struct HoudiniStats {
-    /// Iterations of the drop loop.
+    /// Total SAT queries across all shards and rounds.
     pub iterations: usize,
+    /// Cross-shard fixpoint rounds.
+    pub rounds: usize,
     /// Candidates dropped by induction counterexamples.
     pub dropped: usize,
     /// Candidates dropped because of resource exhaustion.
     pub dropped_by_budget: usize,
     /// Original candidate indices dropped by resource exhaustion, in drop
-    /// order. The alive set is kept sorted by candidate index, and budget
-    /// drops always discard the **upper half** (the highest, i.e.
-    /// latest-generated, indices), so this list is deterministic for a
-    /// given candidate sequence and budget — reruns drop the same
-    /// candidates.
+    /// order (within a round, merged in shard order). Budget drops always
+    /// discard the **upper half** of a shard's alive slice (the highest,
+    /// i.e. latest-generated, indices), so this list is deterministic for
+    /// a given candidate sequence, budget, and shard size — reruns drop
+    /// the same candidates.
     pub dropped_candidates: Vec<usize>,
-    /// SAT conflicts consumed.
+    /// SAT conflicts consumed (sum over shards).
     pub conflicts: u64,
+    /// Per-shard breakdown.
+    pub shard_stats: Vec<ShardStats>,
 }
 
 /// Prove candidates by mutual induction.
@@ -65,12 +168,61 @@ pub fn houdini_prove(
     (proved, stats)
 }
 
+/// One shard: a private solver holding the full two-frame encoding, with
+/// hypothesis literals for every candidate and failure detectors for the
+/// owned slice.
+struct Shard {
+    index: usize,
+    solver: Solver,
+    /// Frame-0 "candidate holds" assumption literal, indexed by slot
+    /// (position in the resolvable-candidate list). Shared hypothesis
+    /// vocabulary: every shard assumes the globally-alive subset of these.
+    hyp: Vec<Lit>,
+    /// Owned slots (ascending).
+    own: Vec<usize>,
+    /// Fail selector per owned candidate (parallel to `own`): assuming the
+    /// OR-tree root asks for *some* enabled selector to be true, and
+    /// `fail_j → ¬holds_j@1`. Dropping candidate j permanently is the unit
+    /// clause `¬fail_j`.
+    fail: Vec<Lit>,
+    /// Frame-1 "candidate holds" literal per owned candidate (model-defined
+    /// in every Sat verdict — equalities use a full biconditional).
+    ind1: Vec<Lit>,
+    /// Root of the OR-tree over `fail`.
+    root: Lit,
+    /// Alive flag per owned candidate (parallel to `own`).
+    own_alive: Vec<bool>,
+    solves: usize,
+    encode_seconds: f64,
+    solve_seconds: f64,
+    /// Set after a worker panic: the solver state is untrusted, the owned
+    /// candidates are dropped, and the shard never runs again.
+    dead: bool,
+}
+
+impl Shard {
+    fn alive_count(&self) -> usize {
+        self.own_alive.iter().filter(|&&a| a).count()
+    }
+}
+
+/// What one shard did in one round.
+#[derive(Default)]
+struct RoundOutcome {
+    /// Slots dropped by genuine induction counterexamples, in drop order.
+    dropped_cex: Vec<usize>,
+    /// Slots dropped by budget/fault/cap cuts, in drop order.
+    dropped_budget: Vec<usize>,
+    events: Vec<DegradationEvent>,
+}
+
 /// [`houdini_prove`] under a shared [`Governor`]: SAT conflicts are charged
-/// to the global budget, each query's per-solve budget is apportioned as
-/// `min(config.conflict_budget, remaining global budget)`, and global
+/// to the global budget, each round pre-apportions the remaining global
+/// allowance across dirty shards, each query's per-solve budget is
+/// `min(config.conflict_budget, shard allowance left)`, and global
 /// exhaustion (budget, deadline, cancellation, or an armed solver fault)
-/// drops *all* still-alive candidates — recorded in the stats and as a
-/// [`DegradationEvent`] — instead of proving them. Dropping is sound
+/// drops *all* still-alive candidates — recorded in the stats and as
+/// [`DegradationEvent`]s — instead of proving them. Dropping is sound
 /// (paper §VII-C): an unproved candidate is simply not rewired.
 pub fn houdini_prove_governed(
     aig: &Aig,
@@ -86,9 +238,250 @@ pub fn houdini_prove_governed(
         return (Vec::new(), stats, events);
     }
 
+    // Candidates whose nets have no AIG literal can't be reasoned about;
+    // they are excluded up front (neither proved nor counted as dropped),
+    // matching the old indicator-construction filter.
+    let resolvable: Vec<usize> = (0..candidates.len())
+        .filter(|&i| {
+            let c = &candidates[i];
+            na.net_lit.contains_key(&c.net)
+                && match c.kind {
+                    CandidateKind::EqualNet(o) => na.net_lit.contains_key(&o),
+                    _ => true,
+                }
+        })
+        .collect();
+    if resolvable.is_empty() {
+        return (Vec::new(), stats, events);
+    }
+
+    // Nothing left globally before any encoding: drop everything with one
+    // aggregated event (the expensive shard encodings are skipped too).
+    if let Some(cause) = governor.exhausted() {
+        stats.dropped_by_budget = resolvable.len();
+        stats.dropped_candidates = resolvable.clone();
+        events.push(DegradationEvent {
+            stage: Stage::Prove,
+            cause,
+            dropped: resolvable.len(),
+            detail: "before the first prove round".to_string(),
+        });
+        return (Vec::new(), stats, events);
+    }
+
+    let shard_size = if config.prove.shard_size == 0 {
+        resolvable.len()
+    } else {
+        config.prove.shard_size
+    };
+    let num_shards = resolvable.len().div_ceil(shard_size);
+    let mut shards: Vec<Shard> = (0..num_shards)
+        .map(|s| {
+            let lo = s * shard_size;
+            let hi = ((s + 1) * shard_size).min(resolvable.len());
+            build_shard(
+                s,
+                aig,
+                constraint,
+                na,
+                candidates,
+                &resolvable,
+                lo..hi,
+                governor,
+                config.prove.clause_db_limit,
+            )
+        })
+        .collect();
+
+    // An armed solver fault trips on the *shared* conflict counter: only a
+    // fixed shard order keeps the injected failure point reproducible.
+    let threads = if governor.fault_plan().solver_unknown_after_conflicts.is_some() {
+        1
+    } else {
+        config.prove.threads.max(1)
+    };
+
+    let mut alive: Vec<bool> = vec![true; resolvable.len()];
+    let mut dirty: Vec<bool> = vec![true; num_shards];
+    loop {
+        let run_set: Vec<usize> = (0..num_shards)
+            .filter(|&s| dirty[s] && !shards[s].dead && shards[s].alive_count() > 0)
+            .collect();
+        if run_set.is_empty() {
+            break;
+        }
+        stats.rounds += 1;
+        if let Some(cause) = governor.exhausted() {
+            // Mid-run global exhaustion between rounds: one aggregated
+            // event for everything still alive, across all shards.
+            let round = stats.rounds;
+            let mut dropped = Vec::new();
+            for shard in shards.iter_mut() {
+                for (k, &slot) in shard.own.iter().enumerate() {
+                    if shard.own_alive[k] {
+                        shard.own_alive[k] = false;
+                        alive[slot] = false;
+                        dropped.push(slot);
+                    }
+                }
+            }
+            dropped.sort_unstable();
+            stats.dropped_by_budget += dropped.len();
+            stats
+                .dropped_candidates
+                .extend(dropped.iter().map(|&slot| resolvable[slot]));
+            events.push(DegradationEvent {
+                stage: Stage::Prove,
+                cause,
+                dropped: dropped.len(),
+                detail: format!("before prove round {round}"),
+            });
+            break;
+        }
+
+        // Pre-apportion the remaining global conflict allowance across the
+        // dirty shards in shard order (deterministic for a fixed partition;
+        // thread scheduling never touches it). The shares sum to at most
+        // the pool, so no shard can overdraw the global budget — and the
+        // global cap can only coincide with, never precede, a shard's own
+        // allowance running out.
+        let pool = governor.remaining_conflicts();
+        let mut left = pool;
+        let allowances: Vec<Option<u64>> = (0..run_set.len())
+            .map(|k| match &mut left {
+                None => None,
+                Some(p) => {
+                    let share = *p / (run_set.len() - k) as u64;
+                    *p -= share;
+                    Some(share)
+                }
+            })
+            .collect();
+        debug_assert!(
+            pool.is_none()
+                || allowances.iter().map(|a| a.unwrap_or(0)).sum::<u64>() <= pool.unwrap_or(0),
+            "apportioned shard allowances exceed the global remaining budget"
+        );
+
+        // Run the dirty shards; distribute round-robin over worker threads
+        // and merge outcomes in shard order so the result is identical for
+        // any thread count.
+        let mut work: Vec<(usize, &mut Shard, Option<u64>)> = shards
+            .iter_mut()
+            .enumerate()
+            .filter(|(s, _)| run_set.contains(s))
+            .zip(allowances)
+            .map(|((s, shard), alw)| (s, shard, alw))
+            .collect();
+        let nthreads = threads.min(work.len()).max(1);
+        let mut outcomes: Vec<(usize, RoundOutcome)> = if nthreads == 1 {
+            work.drain(..)
+                .map(|(s, shard, alw)| {
+                    let out = run_shard_round(shard, &alive, alw, config, governor);
+                    (s, out)
+                })
+                .collect()
+        } else {
+            let mut buckets: Vec<Vec<(usize, &mut Shard, Option<u64>)>> =
+                (0..nthreads).map(|_| Vec::new()).collect();
+            for (k, item) in work.into_iter().enumerate() {
+                buckets[k % nthreads].push(item);
+            }
+            let alive_ref = &alive;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = buckets
+                    .into_iter()
+                    .map(|bucket| {
+                        scope.spawn(move || {
+                            bucket
+                                .into_iter()
+                                .map(|(s, shard, alw)| {
+                                    let out =
+                                        run_shard_round(shard, alive_ref, alw, config, governor);
+                                    (s, out)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("prover worker panics are caught per shard"))
+                    .collect()
+            })
+        };
+        outcomes.sort_by_key(|&(s, _)| s);
+
+        let mut dropped_this_round: Vec<usize> = Vec::new(); // shard index per drop
+        for (s, out) in outcomes {
+            for &slot in &out.dropped_cex {
+                alive[slot] = false;
+                stats.dropped += 1;
+                dropped_this_round.push(s);
+            }
+            for &slot in &out.dropped_budget {
+                alive[slot] = false;
+                stats.dropped_by_budget += 1;
+                stats.dropped_candidates.push(resolvable[slot]);
+                dropped_this_round.push(s);
+            }
+            events.extend(out.events);
+        }
+        if dropped_this_round.is_empty() {
+            // Every dirty shard verified its slice against the current
+            // global set and nothing changed: fixpoint.
+            break;
+        }
+        // A shard stays verified unless a *different* shard dropped
+        // something (its own drops were already reflected in its final
+        // query); everything else must re-check its assumptions.
+        for s in 0..num_shards {
+            dirty[s] = dropped_this_round.iter().any(|&d| d != s);
+        }
+    }
+
+    for shard in &shards {
+        stats.iterations += shard.solves;
+        stats.conflicts += shard.solver.num_conflicts();
+        stats.shard_stats.push(ShardStats {
+            shard: shard.index,
+            candidates: shard.own.len(),
+            proved: shard.alive_count(),
+            solves: shard.solves,
+            conflicts: shard.solver.num_conflicts(),
+            propagations: shard.solver.num_propagations(),
+            vars: shard.solver.num_vars(),
+            clauses: shard.solver.num_clauses(),
+            encode_seconds: shard.encode_seconds,
+            solve_seconds: shard.solve_seconds,
+        });
+    }
+    let proved = (0..resolvable.len())
+        .filter(|&slot| alive[slot])
+        .map(|slot| candidates[resolvable[slot]])
+        .collect();
+    (proved, stats, events)
+}
+
+/// Encode one shard: full two-frame transition relation, hypothesis
+/// literals for every resolvable candidate, failure detectors + OR-tree for
+/// the owned slice.
+#[allow(clippy::too_many_arguments)]
+fn build_shard(
+    index: usize,
+    aig: &Aig,
+    constraint: AigLit,
+    na: &NetlistAig,
+    candidates: &[Candidate],
+    resolvable: &[usize],
+    own_range: std::ops::Range<usize>,
+    governor: &Governor,
+    clause_db_limit: usize,
+) -> Shard {
+    let t0 = Instant::now();
     let mut solver = Solver::new();
     solver.set_governor(governor.clone());
-    solver.set_conflict_budget(config.conflict_budget);
+    solver.set_clause_db_limit(clause_db_limit);
     let enc = FrameEncoder::new(aig, &mut solver);
     // Frame 0 over a free state, frame 1 over its successors.
     let state0 = enc.free_state(&mut solver);
@@ -98,192 +491,414 @@ pub fn houdini_prove_governed(
     solver.add_clause(&[f0.lit(constraint)]);
     solver.add_clause(&[f1.lit(constraint)]);
 
-    // Candidate indicator literals per frame.
-    let mut alive: Vec<usize> = (0..candidates.len()).collect();
-    let ind0: Vec<Option<Lit>> = candidates
+    // Frame-0 hypotheses. Constants need no encoding at all (the
+    // assumption *is* the frame literal); equalities get a selector with
+    // one implication direction — the selector is only ever assumed true.
+    let hyp: Vec<Lit> = resolvable
         .iter()
-        .map(|c| indicator(&mut solver, &f0, na, c))
+        .map(|&ci| {
+            let c = &candidates[ci];
+            let target = f0.lit(na.net_lit[&c.net]);
+            match c.kind {
+                CandidateKind::ConstFalse => !target,
+                CandidateKind::ConstTrue => target,
+                CandidateKind::EqualNet(other) => {
+                    let o = f0.lit(na.net_lit[&other]);
+                    let s = solver.new_selector();
+                    solver.add_guarded_clause(s, &[target, !o]);
+                    solver.add_guarded_clause(s, &[!target, o]);
+                    s
+                }
+            }
+        })
         .collect();
-    let ind1: Vec<Option<Lit>> = candidates
-        .iter()
-        .map(|c| indicator(&mut solver, &f1, na, c))
-        .collect();
-    // Candidates whose nets have no literal can't be reasoned about.
-    alive.retain(|&i| ind0[i].is_some() && ind1[i].is_some());
 
-    // Drop every still-alive candidate, recording both the stats and a
-    // degradation event. Always sound: unproved candidates are not rewired.
-    fn drop_all(
-        alive: &mut Vec<usize>,
-        stats: &mut HoudiniStats,
-        events: &mut Vec<DegradationEvent>,
-        cause: Cause,
-        detail: String,
-    ) {
-        if alive.is_empty() {
-            return;
-        }
-        stats.dropped_by_budget += alive.len();
-        stats.dropped_candidates.extend_from_slice(alive);
-        events.push(DegradationEvent {
-            stage: Stage::Prove,
-            cause,
-            dropped: alive.len(),
-            detail,
-        });
-        alive.clear();
+    // Frame-1 failure detectors for the owned slice.
+    let own: Vec<usize> = own_range.collect();
+    let mut fail = Vec::with_capacity(own.len());
+    let mut ind1 = Vec::with_capacity(own.len());
+    for &slot in &own {
+        let c = &candidates[resolvable[slot]];
+        let holds = indicator1(&mut solver, &f1, na, c);
+        let t = solver.new_selector();
+        // t_j → candidate j is violated at frame 1.
+        solver.add_guarded_clause(t, &[!holds]);
+        fail.push(t);
+        ind1.push(holds);
     }
+    // Balanced OR-tree: root → (some fail selector true). One ternary
+    // clause per node keeps propagation local regardless of shard size.
+    let mut layer: Vec<Lit> = fail.clone();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if let [a, b] = *pair {
+                let o = solver.new_selector();
+                solver.add_guarded_clause(o, &[a, b]);
+                next.push(o);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    let root = layer[0];
 
-    let conflicts_before = solver.num_conflicts();
-    loop {
-        stats.iterations += 1;
-        if stats.iterations > config.max_iterations {
-            drop_all(
-                &mut alive,
-                &mut stats,
-                &mut events,
-                Cause::IterationCap,
-                format!("gave up after {} iterations", config.max_iterations),
-            );
-            break;
-        }
-        if alive.is_empty() {
-            break;
-        }
-        if let Some(cause) = governor.exhausted() {
-            let iter = stats.iterations;
-            drop_all(
-                &mut alive,
-                &mut stats,
-                &mut events,
-                cause,
-                format!("before iteration {iter}"),
-            );
-            break;
-        }
-        // Apportion the per-query budget from what is left globally so one
-        // runaway query cannot silently overdraw the shared allowance.
-        let per_solve = match (config.conflict_budget, governor.remaining_conflicts()) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (Some(a), None) => Some(a),
-            (None, b) => b,
-        };
-        solver.set_conflict_budget(per_solve);
-        // Activation clause: act -> (some alive candidate fails at frame 1).
-        let act = Lit::pos(solver.new_var());
-        let mut clause: Vec<Lit> = vec![!act];
-        for &i in &alive {
-            clause.push(!ind1[i].unwrap());
-        }
-        solver.add_clause(&clause);
-        // Assumptions: act + all alive candidates at frame 0.
-        let mut assumptions: Vec<Lit> = vec![act];
-        for &i in &alive {
-            assumptions.push(ind0[i].unwrap());
-        }
-        match solver.solve_with(&assumptions) {
-            SolveResult::Unsat => {
-                // Inductive: everything alive is proved.
-                solver.add_clause(&[!act]);
-                break;
-            }
-            SolveResult::Sat => {
-                // Drop every candidate falsified at frame 1 in the model.
-                let before = alive.len();
-                alive.retain(|&i| {
-                    let l = ind1[i].unwrap();
-                    solver.value(l.var()) == Some(l.is_pos())
-                });
-                let dropped = before - alive.len();
-                stats.dropped += dropped;
-                solver.add_clause(&[!act]);
-                if dropped == 0 {
-                    // Defensive: a model must falsify something; if not,
-                    // stop rather than loop forever.
-                    let iter = stats.iterations;
-                    drop_all(
-                        &mut alive,
-                        &mut stats,
-                        &mut events,
-                        Cause::IterationCap,
-                        format!("iteration {iter}: model without progress"),
-                    );
-                    break;
-                }
-            }
-            SolveResult::Unknown => {
-                solver.add_clause(&[!act]);
-                if let Some(cause) = governor.exhausted() {
-                    // Nothing left globally: no retry is possible.
-                    let iter = stats.iterations;
-                    drop_all(
-                        &mut alive,
-                        &mut stats,
-                        &mut events,
-                        cause,
-                        format!("iteration {iter}: query inconclusive"),
-                    );
-                    break;
-                }
-                if governor.solver_should_stop() {
-                    // An armed fault is simulating solver exhaustion; it
-                    // will fire on every retry, so stop here.
-                    let iter = stats.iterations;
-                    drop_all(
-                        &mut alive,
-                        &mut stats,
-                        &mut events,
-                        Cause::ConflictBudget,
-                        format!("iteration {iter}: injected solver exhaustion"),
-                    );
-                    break;
-                }
-                // Per-query budget exhausted: deterministically drop the
-                // upper half of the alive set (highest candidate indices —
-                // `alive` stays sorted ascending throughout) and retry on
-                // the cheaper remainder.
-                let keep = alive.len() / 2;
-                stats.dropped_by_budget += alive.len() - keep;
-                stats.dropped_candidates.extend_from_slice(&alive[keep..]);
-                events.push(DegradationEvent {
-                    stage: Stage::Prove,
-                    cause: Cause::ConflictBudget,
-                    dropped: alive.len() - keep,
-                    detail: format!(
-                        "iteration {}: per-query budget exhausted, dropped upper half",
-                        stats.iterations
-                    ),
-                });
-                alive.truncate(keep);
-                if alive.is_empty() {
-                    break;
-                }
-            }
-        }
+    let own_alive = vec![true; own.len()];
+    Shard {
+        index,
+        solver,
+        hyp,
+        own,
+        fail,
+        ind1,
+        root,
+        own_alive,
+        solves: 0,
+        encode_seconds: t0.elapsed().as_secs_f64(),
+        solve_seconds: 0.0,
+        dead: false,
     }
-    stats.conflicts = solver.num_conflicts() - conflicts_before;
-    let proved = alive.iter().map(|&i| candidates[i]).collect();
-    (proved, stats, events)
 }
 
-/// Build a single SAT literal that is true iff the candidate holds in the
-/// frame.
-fn indicator(solver: &mut Solver, frame: &Frame, na: &NetlistAig, c: &Candidate) -> Option<Lit> {
-    let target = frame.lit(*na.net_lit.get(&c.net)?);
+/// Frame-1 "candidate holds" literal. Unlike the one-directional frame-0
+/// hypotheses this must be model-defined in both directions (a Sat model
+/// decides which candidates to drop by reading it), so equalities use the
+/// full biconditional.
+fn indicator1(solver: &mut Solver, frame: &Frame, na: &NetlistAig, c: &Candidate) -> Lit {
+    let target = frame.lit(na.net_lit[&c.net]);
     match c.kind {
-        CandidateKind::ConstFalse => Some(!target),
-        CandidateKind::ConstTrue => Some(target),
+        CandidateKind::ConstFalse => !target,
+        CandidateKind::ConstTrue => target,
         CandidateKind::EqualNet(other) => {
-            let o = frame.lit(*na.net_lit.get(&other)?);
+            let o = frame.lit(na.net_lit[&other]);
             // t <-> (target == o)
             let t = Lit::pos(solver.new_var());
             solver.add_clause(&[!t, target, !o]);
             solver.add_clause(&[!t, !target, o]);
             solver.add_clause(&[t, target, o]);
             solver.add_clause(&[t, !target, !o]);
-            Some(t)
+            t
         }
     }
+}
+
+/// One round of one shard: solve against the global alive snapshot until
+/// the owned slice is verified (Unsat), emptied, or cut by a budget.
+/// Decisions consult only shard-local state (the allowance) plus the
+/// governor's time/cancel/fault signals; see the module docs for why that
+/// keeps budget cuts deterministic.
+fn run_shard_round(
+    shard: &mut Shard,
+    alive_snapshot: &[bool],
+    allowance: Option<u64>,
+    config: &HoudiniConfig,
+    governor: &Governor,
+) -> RoundOutcome {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_shard_round_inner(shard, alive_snapshot, allowance, config, governor)
+    }));
+    match result {
+        Ok(out) => out,
+        Err(payload) => {
+            // Isolate the panic: poison the shard and drop its unvetted
+            // candidates — degraded, never corrupted.
+            shard.dead = true;
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "prover worker panicked".to_string());
+            let mut out = RoundOutcome::default();
+            for k in 0..shard.own.len() {
+                if shard.own_alive[k] {
+                    shard.own_alive[k] = false;
+                    out.dropped_budget.push(shard.own[k]);
+                }
+            }
+            out.events.push(DegradationEvent {
+                stage: Stage::Prove,
+                cause: Cause::WorkerPanic,
+                dropped: out.dropped_budget.len(),
+                detail: format!("shard {}: {msg}", shard.index),
+            });
+            out
+        }
+    }
+}
+
+fn run_shard_round_inner(
+    shard: &mut Shard,
+    alive_snapshot: &[bool],
+    allowance: Option<u64>,
+    config: &HoudiniConfig,
+    governor: &Governor,
+) -> RoundOutcome {
+    let mut out = RoundOutcome::default();
+    // Local view: the global snapshot minus this shard's in-round drops.
+    let mut alive: Vec<bool> = alive_snapshot.to_vec();
+    for (k, &slot) in shard.own.iter().enumerate() {
+        alive[slot] = shard.own_alive[k];
+    }
+    let mut allowance_left = allowance;
+
+    // Drop every still-alive owned candidate (always sound: unproved
+    // candidates are not rewired).
+    macro_rules! drop_all_own {
+        ($cause:expr, $detail:expr) => {{
+            let mut n = 0;
+            for k in 0..shard.own.len() {
+                if shard.own_alive[k] {
+                    shard.own_alive[k] = false;
+                    alive[shard.own[k]] = false;
+                    out.dropped_budget.push(shard.own[k]);
+                    n += 1;
+                }
+            }
+            if n > 0 {
+                out.events.push(DegradationEvent {
+                    stage: Stage::Prove,
+                    cause: $cause,
+                    dropped: n,
+                    detail: $detail,
+                });
+            }
+        }};
+    }
+
+    // Two-level loop. The *base* hypothesis block is placed once per pass
+    // and reused as a trail prefix across every enumeration solve in that
+    // pass; in-pass drops stay as appended `¬fail` assumptions instead of
+    // unit clauses (a unit would reset the trail and force re-placing tens
+    // of thousands of hypothesis assumptions per model). Dropping against
+    // the stale base is sound — a model satisfying *more* hypotheses also
+    // satisfies the alive subset, so anything it violates at frame 1 has a
+    // genuine counterexample — but an Unsat verdict only counts as
+    // "verified" when the pass dropped nothing: otherwise the drops are
+    // committed as units (one trail reset) and the pass repeats against
+    // the shrunken base.
+    'pass: loop {
+        if shard.alive_count() == 0 {
+            break;
+        }
+        // Base assumptions: hypotheses of every globally-alive candidate
+        // in ascending order.
+        let mut assumptions: Vec<Lit> = Vec::with_capacity(alive.len() + 2);
+        for (slot, &a) in alive.iter().enumerate() {
+            if a {
+                assumptions.push(shard.hyp[slot]);
+            }
+        }
+        let base_len = assumptions.len();
+        // ¬fail literals of this pass's drops, appended after the base.
+        let mut pass_fails: Vec<Lit> = Vec::new();
+        loop {
+            if shard.solves >= config.max_iterations {
+                drop_all_own!(
+                    Cause::IterationCap,
+                    format!(
+                        "shard {}: gave up after {} iterations",
+                        shard.index, config.max_iterations
+                    )
+                );
+                break 'pass;
+            }
+            // Time-driven cuts (not thread-deterministic, but sound).
+            if governor.is_cancelled() {
+                drop_all_own!(Cause::Cancelled, format!("shard {}: cancelled", shard.index));
+                break 'pass;
+            }
+            if governor.deadline_exceeded() {
+                drop_all_own!(
+                    Cause::Deadline,
+                    format!("shard {}: deadline passed", shard.index)
+                );
+                break 'pass;
+            }
+            // Apportion the per-query budget from the shard's own
+            // allowance so one runaway query cannot overdraw the shared
+            // pool.
+            let per_solve = match (config.conflict_budget, allowance_left) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (Some(a), None) => Some(a),
+                (None, b) => b,
+            };
+            debug_assert!(
+                per_solve.is_none()
+                    || allowance_left.is_none()
+                    || per_solve.unwrap() <= allowance_left.unwrap(),
+                "per-solve budget exceeds the shard's remaining allowance"
+            );
+            shard.solver.set_conflict_budget(per_solve);
+            assumptions.truncate(base_len);
+            assumptions.extend_from_slice(&pass_fails);
+            assumptions.push(shard.root);
+            // Pack each model: decide the alive fail selectors first (phase
+            // true), so one counterexample violates as many owned
+            // candidates as the transition relation admits instead of the
+            // first one the search trips over. Selectors that cannot be
+            // violated under the current hypotheses just get flipped back
+            // by conflict analysis.
+            let prio: Vec<Lit> = (0..shard.own.len())
+                .filter(|&k| shard.own_alive[k])
+                .map(|k| shard.fail[k])
+                .collect();
+            shard.solver.prioritize(&prio);
+            let t0 = Instant::now();
+            let verdict = shard.solver.solve_with(&assumptions);
+            shard.solve_seconds += t0.elapsed().as_secs_f64();
+            shard.solves += 1;
+            if let Some(left) = &mut allowance_left {
+                *left = left.saturating_sub(shard.solver.conflicts_last_solve());
+            }
+            match verdict {
+                SolveResult::Unsat => {
+                    if pass_fails.is_empty() {
+                        // Inductive relative to the current global set: the
+                        // owned slice stands (subject to other shards'
+                        // rounds).
+                        break 'pass;
+                    }
+                    // Unsat against the stale (superset) base proves
+                    // nothing about the reduced set: commit the drops as
+                    // unit clauses and re-check.
+                    for f in pass_fails.drain(..) {
+                        shard.solver.add_clause(&[f]);
+                    }
+                    continue 'pass;
+                }
+                SolveResult::Sat => {
+                    // Drop every owned candidate falsified at frame 1; the
+                    // OR-tree (with dropped selectors assumed off)
+                    // guarantees the model violates at least one alive one.
+                    let mut dropped_now = 0usize;
+                    for k in 0..shard.own.len() {
+                        if !shard.own_alive[k] {
+                            continue;
+                        }
+                        let l = shard.ind1[k];
+                        if shard.solver.value(l.var()) != Some(l.is_pos()) {
+                            shard.own_alive[k] = false;
+                            alive[shard.own[k]] = false;
+                            out.dropped_cex.push(shard.own[k]);
+                            pass_fails.push(!shard.fail[k]);
+                            dropped_now += 1;
+                        }
+                    }
+                    if dropped_now > 0 {
+                        // Counterexample enumeration wants *diverse*
+                        // models — phase saving would re-find
+                        // near-identical states and shed one candidate at
+                        // a time. Reseed phases deterministically per
+                        // (shard, solve) so the next model falsifies a
+                        // fresh swath.
+                        let seed = ((shard.index as u64) << 32) ^ shard.solves as u64;
+                        shard.solver.scramble_phases(seed);
+                        // Commit after every counterexample: retracting
+                        // the dropped hypotheses immediately is what
+                        // exposes *chained* failures (a candidate whose
+                        // counterexample needs a state violating a dropped
+                        // hypothesis stays hidden under a stale base), and
+                        // mass drops compound layer by layer. The stale
+                        // base is only kept across solves that drop
+                        // nothing — i.e. never; the pass structure earns
+                        // its keep on the budget-halving path and keeps
+                        // every drop sound if a commit is ever deferred.
+                        for f in pass_fails.drain(..) {
+                            shard.solver.add_clause(&[f]);
+                        }
+                        continue 'pass;
+                    } else {
+                        // Defensive: a model must falsify something; if
+                        // not, stop rather than loop forever.
+                        let solves = shard.solves;
+                        drop_all_own!(
+                            Cause::IterationCap,
+                            format!(
+                                "shard {}: iteration {solves}: model without progress",
+                                shard.index
+                            )
+                        );
+                        break 'pass;
+                    }
+                }
+                SolveResult::Unknown => {
+                    if governor.is_cancelled() {
+                        drop_all_own!(
+                            Cause::Cancelled,
+                            format!("shard {}: query cancelled", shard.index)
+                        );
+                        break 'pass;
+                    }
+                    if governor.deadline_exceeded() {
+                        drop_all_own!(
+                            Cause::Deadline,
+                            format!("shard {}: deadline during query", shard.index)
+                        );
+                        break 'pass;
+                    }
+                    if governor.fault_plan().solver_unknown_after_conflicts.is_some()
+                        && governor.solver_should_stop()
+                    {
+                        // An armed fault is simulating solver exhaustion;
+                        // it would fire on every retry, so stop here.
+                        let solves = shard.solves;
+                        drop_all_own!(
+                            Cause::ConflictBudget,
+                            format!(
+                                "shard {}: iteration {solves}: injected solver exhaustion",
+                                shard.index
+                            )
+                        );
+                        break 'pass;
+                    }
+                    if allowance_left == Some(0) {
+                        // The shard's share of the global pool is spent; no
+                        // retry is possible. Local state only —
+                        // deterministic.
+                        let solves = shard.solves;
+                        drop_all_own!(
+                            Cause::ConflictBudget,
+                            format!(
+                                "shard {}: iteration {solves}: conflict allowance exhausted",
+                                shard.index
+                            )
+                        );
+                        break 'pass;
+                    }
+                    // Per-query budget exhausted: deterministically drop
+                    // the upper half of the owned alive slice (highest
+                    // candidate indices) and retry on the cheaper
+                    // remainder.
+                    let alive_idx: Vec<usize> =
+                        (0..shard.own.len()).filter(|&k| shard.own_alive[k]).collect();
+                    let keep = alive_idx.len() / 2;
+                    for &k in &alive_idx[keep..] {
+                        shard.own_alive[k] = false;
+                        alive[shard.own[k]] = false;
+                        out.dropped_budget.push(shard.own[k]);
+                        pass_fails.push(!shard.fail[k]);
+                    }
+                    out.events.push(DegradationEvent {
+                        stage: Stage::Prove,
+                        cause: Cause::ConflictBudget,
+                        dropped: alive_idx.len() - keep,
+                        detail: format!(
+                            "shard {}: iteration {}: per-query budget exhausted, dropped upper half",
+                            shard.index, shard.solves
+                        ),
+                    });
+                    // The halved set changes the base; commit and restart
+                    // the pass.
+                    for f in pass_fails.drain(..) {
+                        shard.solver.add_clause(&[f]);
+                    }
+                    continue 'pass;
+                }
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -310,6 +925,9 @@ mod tests {
             houdini_prove(&na.aig, AigLit::TRUE, &na, &cands, &HoudiniConfig::default());
         assert_eq!(proved.len(), 1);
         assert_eq!(stats.dropped, 0);
+        assert!(stats.iterations >= 1);
+        assert_eq!(stats.shard_stats.len(), 1);
+        assert_eq!(stats.shard_stats[0].proved, 1);
     }
 
     #[test]
@@ -366,6 +984,120 @@ mod tests {
     }
 
     #[test]
+    fn mutual_induction_survives_sharding() {
+        // The coupled pair split across *two* shards: each shard must
+        // assume the other's hypothesis, and the cross-shard fixpoint must
+        // still prove both (a drop-happy partition would break coupling).
+        let mut nl = Netlist::new("t");
+        let fb1 = nl.add_net("fb1");
+        let fb2 = nl.add_net("fb2");
+        let q1 = nl.add_dff(fb2, false, "q1");
+        let q2 = nl.add_dff(fb1, false, "q2");
+        nl.assign_alias(fb1, q1);
+        nl.assign_alias(fb2, q2);
+        nl.add_output("q1", q1);
+        let na = netlist_to_aig(&nl, &[]);
+        let cands = vec![
+            Candidate {
+                net: q1,
+                kind: CandidateKind::ConstFalse,
+            },
+            Candidate {
+                net: q2,
+                kind: CandidateKind::ConstFalse,
+            },
+        ];
+        for threads in [1, 2] {
+            let config = HoudiniConfig {
+                prove: ProveConfig {
+                    shard_size: 1,
+                    threads,
+                    ..ProveConfig::default()
+                },
+                ..HoudiniConfig::default()
+            };
+            let (proved, stats) = houdini_prove(&na.aig, AigLit::TRUE, &na, &cands, &config);
+            assert_eq!(proved.len(), 2, "sharded mutual induction proves both");
+            assert_eq!(stats.shard_stats.len(), 2);
+        }
+    }
+
+    #[test]
+    fn sharded_fixpoint_drops_chained_failures() {
+        // a (free input) feeds a buffer chain; "each stage == 0" is false
+        // and must fall round by round when each stage sits in its own
+    	// shard: dropping y0==0 invalidates nothing, but dropping chained
+        // equalities exercises re-dirtying. The proved set must equal the
+        // single-shard result.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y0 = nl.add_cell(CellKind::Buf, &[a], "y0");
+        let y1 = nl.add_cell(CellKind::Buf, &[y0], "y1");
+        let y2 = nl.add_cell(CellKind::Buf, &[y1], "y2");
+        nl.add_output("y", y2);
+        let na = netlist_to_aig(&nl, &[]);
+        let cands = candidates_for_netlist(&nl, &na);
+        let single = houdini_prove(&na.aig, AigLit::TRUE, &na, &cands, &HoudiniConfig::default());
+        let sharded = houdini_prove(
+            &na.aig,
+            AigLit::TRUE,
+            &na,
+            &cands,
+            &HoudiniConfig {
+                prove: ProveConfig {
+                    shard_size: 1,
+                    threads: 2,
+                    ..ProveConfig::default()
+                },
+                ..HoudiniConfig::default()
+            },
+        );
+        assert_eq!(single.0, sharded.0, "partition must not change the fixpoint");
+        assert!(sharded.1.rounds >= 1);
+    }
+
+    #[test]
+    fn unsound_seed_repro_mutually_exclusive_failures() {
+        // Regression for the pre-rework engine: q_even' = q_even | a,
+        // q_odd' = q_odd | !a, both init 0. Both "constant 0" candidates
+        // are falsifiable, but never in the same model (a picks one), and
+        // the old solver latched Unsat after the first counterexample's
+        // activation clause was retired against model residue — silently
+        // proving the survivor. Neither may be proved.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let na_inv = nl.add_cell(CellKind::Inv, &[a], "na");
+        let fb_e = nl.add_net("fb_e");
+        let fb_o = nl.add_net("fb_o");
+        let q_even = nl.add_dff(fb_e, false, "q_even");
+        let q_odd = nl.add_dff(fb_o, false, "q_odd");
+        let d_e = nl.add_cell(CellKind::Or2, &[q_even, a], "d_e");
+        let d_o = nl.add_cell(CellKind::Or2, &[q_odd, na_inv], "d_o");
+        nl.assign_alias(fb_e, d_e);
+        nl.assign_alias(fb_o, d_o);
+        nl.add_output("e", q_even);
+        nl.add_output("o", q_odd);
+        let na = netlist_to_aig(&nl, &[]);
+        let cands = vec![
+            Candidate {
+                net: q_even,
+                kind: CandidateKind::ConstFalse,
+            },
+            Candidate {
+                net: q_odd,
+                kind: CandidateKind::ConstFalse,
+            },
+        ];
+        let (proved, stats) =
+            houdini_prove(&na.aig, AigLit::TRUE, &na, &cands, &HoudiniConfig::default());
+        assert!(
+            proved.is_empty(),
+            "mutually-exclusive failures must all be dropped, got {proved:?}"
+        );
+        assert_eq!(stats.dropped, 2);
+    }
+
+    #[test]
     fn budget_drops_are_recorded_and_deterministic() {
         // Several coupled candidates under a starvation budget: the Unknown
         // path must fire, and the recorded drop list must be identical on a
@@ -383,6 +1115,7 @@ mod tests {
         let config = HoudiniConfig {
             conflict_budget: Some(0),
             max_iterations: 8,
+            prove: ProveConfig::default(),
         };
         let (proved1, stats1) = houdini_prove(&na.aig, AigLit::TRUE, &na, &cands, &config);
         let (proved2, stats2) = houdini_prove(&na.aig, AigLit::TRUE, &na, &cands, &config);
@@ -446,6 +1179,46 @@ mod tests {
     }
 
     #[test]
+    fn governed_run_never_overdraws_the_global_budget() {
+        use pdat_governor::{Governor, GovernorConfig};
+        // Regression for the apportionment contract: per-solve budgets are
+        // carved from pre-apportioned shard allowances, so the sum of all
+        // charged conflicts can never exceed the global cap — for any
+        // shard count.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let fb = nl.add_net("fb");
+        let q = nl.add_dff(fb, false, "q");
+        nl.assign_alias(fb, q);
+        let y = nl.add_cell(CellKind::And2, &[a, q], "y");
+        let z = nl.add_cell(CellKind::Or2, &[y, q], "z");
+        nl.add_output("z", z);
+        let na = netlist_to_aig(&nl, &[]);
+        let cands = candidates_for_netlist(&nl, &na);
+        for shard_size in [0usize, 1, 2] {
+            for cap in [1u64, 3, 50] {
+                let g = Governor::new(&GovernorConfig {
+                    conflict_budget: Some(cap),
+                    ..Default::default()
+                });
+                let config = HoudiniConfig {
+                    prove: ProveConfig {
+                        shard_size,
+                        ..ProveConfig::default()
+                    },
+                    ..HoudiniConfig::default()
+                };
+                let _ = houdini_prove_governed(&na.aig, AigLit::TRUE, &na, &cands, &config, &g);
+                assert!(
+                    g.conflicts_used() <= cap,
+                    "shard_size={shard_size} cap={cap}: overdrew to {}",
+                    g.conflicts_used()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn budget_exhaustion_drops_not_wrong() {
         // A tiny budget can only reduce the proved set, never prove junk.
         let mut nl = Netlist::new("t");
@@ -482,6 +1255,7 @@ mod tests {
             &HoudiniConfig {
                 conflict_budget: Some(1),
                 max_iterations: 4,
+                prove: ProveConfig::default(),
             },
         );
         // Whatever survived must actually be true: check by exhaustive

@@ -26,7 +26,9 @@ mod houdini;
 mod sim_filter;
 
 pub use candidates::{candidates_for_netlist, Candidate, CandidateKind};
-pub use houdini::{houdini_prove, houdini_prove_governed, HoudiniConfig, HoudiniStats};
+pub use houdini::{
+    houdini_prove, houdini_prove_governed, HoudiniConfig, HoudiniStats, ProveConfig, ShardStats,
+};
 pub use sim_filter::{
     simulate_filter, simulate_filter_governed, simulate_filter_reference,
     simulate_filter_with_stats, SimFilterConfig, SimFilterStats,

@@ -122,6 +122,7 @@ proptest! {
             &HoudiniConfig {
                 conflict_budget: Some(50_000),
                 max_iterations: 1_000,
+                ..Default::default()
             },
         );
         for cand in &proved {

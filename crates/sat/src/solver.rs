@@ -1,4 +1,20 @@
 //! The CDCL solver implementation.
+//!
+//! The solver is built for *incremental* use: the Houdini prover issues
+//! thousands of closely-related queries against one formula, so
+//!
+//! - satisfying models are copied out of the search state (`value()` reads
+//!   the copy), which lets the solver keep its trail alive between calls
+//!   instead of rebuilding every assumption level from scratch;
+//! - consecutive `solve_with` calls reuse the longest common prefix of
+//!   their assumption lists (the trail is only unwound back to the first
+//!   assumption that changed);
+//! - callers disable clause groups by flipping a *selector* assumption
+//!   ([`Solver::new_selector`] / [`Solver::add_guarded_clause`]) instead of
+//!   retiring activation variables with ever-growing clauses;
+//! - learnt clauses carry their LBD (literal block distance) and the
+//!   clause database is periodically reduced by LBD-then-activity, keeping
+//!   "glue" clauses across queries.
 
 use pdat_governor::Governor;
 use std::fmt;
@@ -95,15 +111,38 @@ pub enum SolveResult {
 
 const LBOOL_UNDEF: u8 = 2;
 
+/// Watch-list entry: the clause plus a *blocker* literal (some other
+/// literal of the clause, usually the co-watched one). If the blocker is
+/// already true the clause is satisfied and the visit skips both pointer
+/// hops into clause storage — the common case during the long assumption
+/// placements and model completions incremental Houdini performs.
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
 #[derive(Debug)]
 struct Clause {
     lits: Vec<Lit>,
     learnt: bool,
     activity: f32,
+    /// Literal block distance at learning time (0 for problem clauses).
+    /// Low-LBD ("glue") clauses are the ones worth keeping across queries.
+    lbd: u32,
     deleted: bool,
 }
 
 type ClauseRef = u32;
+
+/// Default cap on retained learnt clauses before a reduction pass.
+const DEFAULT_CLAUSE_DB_LIMIT: usize = 8192;
+
+/// Upper bound on how many conflicts may be charged to the governor in one
+/// batch. Bounds how stale the shared counter can get (and therefore how
+/// late a deadline/cancellation check can fire) while keeping the armed
+/// overhead to one atomic add per batch instead of one per conflict.
+const GOVERNOR_BATCH: u64 = 64;
 
 /// Conflict-driven clause-learning SAT solver.
 ///
@@ -114,13 +153,21 @@ type ClauseRef = u32;
 #[derive(Debug)]
 pub struct Solver {
     clauses: Vec<Clause>,
-    watches: Vec<Vec<ClauseRef>>, // indexed by lit code
+    watches: Vec<Vec<Watcher>>, // indexed by lit code
     assigns: Vec<u8>,             // lbool per var
     level: Vec<u32>,
     reason: Vec<Option<ClauseRef>>,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
+    /// Snapshot of `assigns` at the most recent Sat verdict; what
+    /// [`Solver::value`] reads. Kept separate from the search state so the
+    /// trail can survive between solve calls without model residue leaking
+    /// into clause simplification.
+    model: Vec<u8>,
+    /// Assumptions of the most recent solve call whose trail was kept; the
+    /// next call unwinds only to the longest common prefix.
+    last_assumptions: Vec<Lit>,
     // VSIDS
     activity: Vec<f64>,
     var_inc: f64,
@@ -129,13 +176,21 @@ pub struct Solver {
     polarity: Vec<bool>,  // saved phases
     // analysis scratch
     seen: Vec<bool>,
+    lbd_stamp: Vec<u64>, // indexed by decision level
+    lbd_gen: u64,
     // stats / limits
     conflicts: u64,
     solve_conflicts: u64, // conflicts in the current/most recent solve call
     decisions: u64,
     propagations: u64,
+    num_learnt: usize, // live (non-deleted) learnt clauses
     conflict_budget: Option<u64>,
     governor: Option<Governor>,
+    /// Conflicts counted locally but not yet charged to the governor.
+    pending_conflicts: u64,
+    /// Conflicts until the next governor flush; sized from
+    /// [`Governor::conflict_slack`] so exact-count stops still land exactly.
+    charge_batch: u64,
     ok: bool,
     cla_inc: f32,
     learnt_cap: usize,
@@ -159,21 +214,28 @@ impl Solver {
             trail: Vec::new(),
             trail_lim: Vec::new(),
             qhead: 0,
+            model: Vec::new(),
+            last_assumptions: Vec::new(),
             activity: Vec::new(),
             var_inc: 1.0,
             heap: Vec::new(),
             heap_pos: Vec::new(),
             polarity: Vec::new(),
             seen: Vec::new(),
+            lbd_stamp: vec![0],
+            lbd_gen: 0,
             conflicts: 0,
             solve_conflicts: 0,
             decisions: 0,
             propagations: 0,
+            num_learnt: 0,
             conflict_budget: None,
             governor: None,
+            pending_conflicts: 0,
+            charge_batch: GOVERNOR_BATCH,
             ok: true,
             cla_inc: 1.0,
-            learnt_cap: 8192,
+            learnt_cap: DEFAULT_CLAUSE_DB_LIMIT,
         }
     }
 
@@ -186,11 +248,35 @@ impl Solver {
         self.activity.push(0.0);
         self.polarity.push(false);
         self.seen.push(false);
+        self.lbd_stamp.push(0);
         self.heap_pos.push(usize::MAX);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.heap_insert(v);
         v
+    }
+
+    /// Allocate a fresh *selector* literal for guarded clauses.
+    ///
+    /// Pass the returned literal as an assumption to enable every clause
+    /// added under it with [`Solver::add_guarded_clause`]; omit it (or add
+    /// its negation as a unit clause) to disable the group permanently.
+    /// Selectors replace the activation-variable pattern — disabling a
+    /// group is an assumption flip, not a new clause accumulating in the
+    /// database.
+    pub fn new_selector(&mut self) -> Lit {
+        Lit::pos(self.new_var())
+    }
+
+    /// Add `lits` guarded by `sel`: the stored clause is `!sel ∨ lits…`,
+    /// so it only constrains the search while `sel` is assumed (or
+    /// asserted) true. Returns `false` if the solver became trivially
+    /// unsatisfiable.
+    pub fn add_guarded_clause(&mut self, sel: Lit, lits: &[Lit]) -> bool {
+        let mut c = Vec::with_capacity(lits.len() + 1);
+        c.push(!sel);
+        c.extend_from_slice(lits);
+        self.add_clause(&c)
     }
 
     /// Number of variables allocated.
@@ -201,6 +287,11 @@ impl Solver {
     /// Number of problem (non-learnt) clauses added.
     pub fn num_clauses(&self) -> usize {
         self.clauses.iter().filter(|c| !c.learnt && !c.deleted).count()
+    }
+
+    /// Live learnt clauses currently retained.
+    pub fn num_learnt_clauses(&self) -> usize {
+        self.num_learnt
     }
 
     /// Conflicts encountered so far (across all solve calls).
@@ -233,6 +324,55 @@ impl Solver {
         self.conflict_budget
     }
 
+    /// Cap the number of retained learnt clauses before a reduction pass
+    /// runs (the cap still grows ~10% after each reduction so the database
+    /// can breathe on genuinely hard queries).
+    pub fn set_clause_db_limit(&mut self, limit: usize) {
+        self.learnt_cap = limit.max(1);
+    }
+
+    /// Deterministically reseed every saved phase from `seed` (splitmix64
+    /// per variable). Phase saving makes successive models nearly
+    /// identical, which is exactly wrong for callers that *enumerate*
+    /// models (each solve should land in a fresh region of the space);
+    /// scrambling between model queries restores diversity without giving
+    /// up phase saving inside a single search.
+    pub fn scramble_phases(&mut self, seed: u64) {
+        for (i, p) in self.polarity.iter_mut().enumerate() {
+            let mut z = seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            *p = (z ^ (z >> 31)) & 1 == 1;
+        }
+    }
+
+    /// Move `lits` to the top of the decision order and set their saved
+    /// phase to the literal's sign, so the next search decides them first
+    /// (earlier slice positions win ties). Model-enumeration callers use
+    /// this to *pack* models: deciding the objective literals up front
+    /// makes each model satisfy as many of them as propagation allows,
+    /// instead of stopping at the first one the search trips over.
+    /// Activities then decay normally under the solver's VSIDS dynamics,
+    /// so the boost is per-solve advice, not a permanent override.
+    pub fn prioritize(&mut self, lits: &[Lit]) {
+        let top = self.activity.iter().cloned().fold(0.0f64, f64::max);
+        let step = self.var_inc.max(1.0);
+        let boosted = top + step * (lits.len() as f64 + 1.0);
+        if boosted > 1e100 {
+            for a in self.activity.iter_mut() {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+            return self.prioritize(lits);
+        }
+        for (k, &l) in lits.iter().enumerate() {
+            let v = l.var();
+            self.activity[v.index()] = top + step * ((lits.len() - k) as f64);
+            self.polarity[v.index()] = l.is_pos();
+            self.heap_update(v);
+        }
+    }
+
     /// Conflicts spent by the most recent solve call (0 before any call).
     pub fn conflicts_last_solve(&self) -> u64 {
         self.solve_conflicts
@@ -247,16 +387,19 @@ impl Solver {
             .map(|b| b.saturating_sub(self.solve_conflicts))
     }
 
-    /// Attach a shared [`Governor`]: every conflict is charged to its
-    /// global budget, and the search stops with [`SolveResult::Unknown`]
-    /// when the governor reports exhaustion (global conflict cap, deadline,
-    /// cancellation, or an armed solver fault).
+    /// Attach a shared [`Governor`]: conflicts are charged to its global
+    /// budget (in batches — see [`Governor::conflict_slack`]), and the
+    /// search stops with [`SolveResult::Unknown`] when the governor reports
+    /// exhaustion (global conflict cap, deadline, cancellation, or an armed
+    /// solver fault).
     pub fn set_governor(&mut self, governor: Governor) {
+        self.flush_governor_charges();
         self.governor = Some(governor);
     }
 
     /// Detach the governor (the per-solve budget still applies).
     pub fn clear_governor(&mut self) {
+        self.flush_governor_charges();
         self.governor = None;
     }
 
@@ -269,12 +412,14 @@ impl Solver {
         }
     }
 
-    /// Value of `v` in the most recent satisfying model, or `None` if
-    /// unassigned / no model.
+    /// Value of `v` in the most recent satisfying model, or `None` if the
+    /// variable was created after that model (or no Sat verdict has been
+    /// returned yet). The model is a snapshot: it stays readable until the
+    /// next solve call, even if clauses are added in between.
     pub fn value(&self, v: Var) -> Option<bool> {
-        match self.assigns[v.index()] {
-            0 => Some(false),
-            1 => Some(true),
+        match self.model.get(v.index()) {
+            Some(0) => Some(false),
+            Some(1) => Some(true),
             _ => None,
         }
     }
@@ -283,12 +428,14 @@ impl Solver {
     ///
     /// Returns `false` if the solver became trivially unsatisfiable (the
     /// clause is empty after simplification or contradicts current
-    /// top-level units).
+    /// top-level units). Adding a clause unwinds any trail kept from a
+    /// previous solve call: simplification must see top-level facts only.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
         if !self.ok {
             return false;
         }
-        debug_assert_eq!(self.decision_level(), 0);
+        self.cancel_until(0);
+        self.last_assumptions.clear();
         // Simplify: dedup, drop false lits, detect tautology/true lits.
         let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
         let mut sorted = lits.to_vec();
@@ -319,20 +466,30 @@ impl Solver {
                 }
             }
             _ => {
-                self.attach_clause(c, false);
+                self.attach_clause(c, false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
         let cref = self.clauses.len() as ClauseRef;
-        self.watches[(!lits[0]).code()].push(cref);
-        self.watches[(!lits[1]).code()].push(cref);
+        self.watches[(!lits[0]).code()].push(Watcher {
+            cref,
+            blocker: lits[1],
+        });
+        self.watches[(!lits[1]).code()].push(Watcher {
+            cref,
+            blocker: lits[0],
+        });
+        if learnt {
+            self.num_learnt += 1;
+        }
         self.clauses.push(Clause {
             lits,
             learnt,
             activity: 0.0,
+            lbd,
             deleted: false,
         });
         cref
@@ -361,7 +518,13 @@ impl Solver {
             let mut watch = std::mem::take(&mut self.watches[p.code()]);
             let mut conflict = None;
             while i < watch.len() {
-                let cref = watch[i];
+                // Blocker check first: a true blocker means the clause is
+                // satisfied — skip without touching clause storage.
+                if self.lit_value(watch[i].blocker) == 1 {
+                    i += 1;
+                    continue;
+                }
+                let cref = watch[i].cref;
                 if self.clauses[cref as usize].deleted {
                     watch.swap_remove(i);
                     continue;
@@ -376,6 +539,7 @@ impl Solver {
                 }
                 let first = self.clauses[cref as usize].lits[0];
                 if self.lit_value(first) == 1 {
+                    watch[i].blocker = first;
                     i += 1;
                     continue; // clause satisfied
                 }
@@ -386,7 +550,10 @@ impl Solver {
                     let lk = self.clauses[cref as usize].lits[k];
                     if self.lit_value(lk) != 0 {
                         self.clauses[cref as usize].lits.swap(1, k);
-                        self.watches[(!lk).code()].push(cref);
+                        self.watches[(!lk).code()].push(Watcher {
+                            cref,
+                            blocker: first,
+                        });
                         watch.swap_remove(i);
                         moved = true;
                         break;
@@ -402,6 +569,7 @@ impl Solver {
                     break;
                 } else {
                     self.unchecked_enqueue(first, Some(cref));
+                    watch[i].blocker = first;
                     i += 1;
                 }
             }
@@ -441,8 +609,9 @@ impl Solver {
         }
     }
 
-    /// First-UIP conflict analysis. Returns (learnt clause, backtrack level).
-    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, u32) {
+    /// First-UIP conflict analysis. Returns (learnt clause, backtrack
+    /// level, LBD of the learnt clause).
+    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, u32, u32) {
         let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot 0 for the asserting lit
         let mut counter = 0usize;
         let mut p: Option<Lit> = None;
@@ -501,6 +670,17 @@ impl Solver {
             self.seen[l.var().index()] = false;
         }
         let learnt = minimized;
+        // LBD: distinct decision levels in the minimized clause, computed
+        // before backtracking (levels are still the learning-time ones).
+        self.lbd_gen += 1;
+        let mut lbd = 0u32;
+        for &l in &learnt {
+            let lvl = self.level[l.var().index()] as usize;
+            if self.lbd_stamp[lvl] != self.lbd_gen {
+                self.lbd_stamp[lvl] = self.lbd_gen;
+                lbd += 1;
+            }
+        }
         // Backtrack level: second-highest level in the clause.
         let bt = if learnt.len() == 1 {
             0
@@ -513,7 +693,7 @@ impl Solver {
             }
             self.level[learnt[max_i].var().index()]
         };
-        (learnt, bt)
+        (learnt, bt, lbd)
     }
 
     fn cancel_until(&mut self, lvl: u32) {
@@ -545,33 +725,57 @@ impl Solver {
         None
     }
 
+    /// Reduce the learnt-clause database: delete the worse half of the
+    /// deletable learnt clauses, ranked by descending LBD and then
+    /// ascending activity. Binary and glue (LBD ≤ 2) clauses are kept
+    /// unconditionally — they are the cheap, high-value deductions that
+    /// make incremental re-solving pay off — as are clauses currently
+    /// locked as a propagation reason.
     fn reduce_db(&mut self) {
-        // Remove the lower-activity half of long learnt clauses.
-        let mut learnt_refs: Vec<ClauseRef> = (0..self.clauses.len() as ClauseRef)
+        let mut cands: Vec<ClauseRef> = (0..self.clauses.len() as ClauseRef)
             .filter(|&cr| {
                 let c = &self.clauses[cr as usize];
-                c.learnt && !c.deleted && c.lits.len() > 2
+                c.learnt
+                    && !c.deleted
+                    && c.lits.len() > 2
+                    && c.lbd > 2
+                    && !(self.lit_value(c.lits[0]) == 1
+                        && self.reason[c.lits[0].var().index()] == Some(cr))
             })
             .collect();
-        learnt_refs.sort_by(|&a, &b| {
-            self.clauses[a as usize]
-                .activity
-                .partial_cmp(&self.clauses[b as usize].activity)
-                .unwrap_or(std::cmp::Ordering::Equal)
+        cands.sort_by(|&a, &b| {
+            let ca = &self.clauses[a as usize];
+            let cb = &self.clauses[b as usize];
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
         });
-        let locked: Vec<bool> = learnt_refs
-            .iter()
-            .map(|&cr| {
-                let c = &self.clauses[cr as usize];
-                self.lit_value(c.lits[0]) == 1
-                    && self.reason[c.lits[0].var().index()] == Some(cr)
-            })
-            .collect();
-        for (idx, &cr) in learnt_refs.iter().take(learnt_refs.len() / 2).enumerate() {
-            if !locked[idx] {
-                self.clauses[cr as usize].deleted = true;
-            }
+        for &cr in cands.iter().take(cands.len() / 2) {
+            self.clauses[cr as usize].deleted = true;
+            self.num_learnt -= 1;
         }
+    }
+
+    /// Push locally-counted conflicts to the governor's global counter.
+    fn flush_governor_charges(&mut self) {
+        if self.pending_conflicts > 0 {
+            if let Some(g) = &self.governor {
+                g.charge_conflicts(self.pending_conflicts);
+            }
+            self.pending_conflicts = 0;
+        }
+    }
+
+    /// Size the next charge batch so the flush lands exactly on any armed
+    /// conflict cap or fault threshold (exact-count stops), capped at
+    /// [`GOVERNOR_BATCH`] to bound counter staleness.
+    fn recompute_charge_batch(&mut self) {
+        self.charge_batch = match &self.governor {
+            Some(g) => g
+                .conflict_slack()
+                .map_or(GOVERNOR_BATCH, |s| s.clamp(1, GOVERNOR_BATCH)),
+            None => GOVERNOR_BATCH,
+        };
     }
 
     /// Solve the current formula with no assumptions.
@@ -579,8 +783,12 @@ impl Solver {
         self.solve_with(&[])
     }
 
-    /// Solve under temporary `assumptions` (asserted as pseudo-decisions;
-    /// fully retracted afterwards).
+    /// Solve under temporary `assumptions` (asserted as pseudo-decisions).
+    ///
+    /// Incremental reuse: if the previous call ended Sat and no clause was
+    /// added since, the trail is unwound only to the longest common prefix
+    /// of the two assumption lists, so a long shared prefix (the Houdini
+    /// hypothesis set) is not re-propagated from scratch.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
         if !self.ok {
             return SolveResult::Unsat;
@@ -593,6 +801,17 @@ impl Solver {
         {
             return SolveResult::Unknown;
         }
+        self.recompute_charge_batch();
+        // Unwind to the longest common assumption prefix with the kept
+        // trail (no-op when the previous call cleared it).
+        let mut prefix = 0;
+        while prefix < assumptions.len()
+            && prefix < self.last_assumptions.len()
+            && assumptions[prefix] == self.last_assumptions[prefix]
+        {
+            prefix += 1;
+        }
+        self.cancel_until(prefix as u32);
         let mut restart_idx = 0u64;
         let result = loop {
             match self.search(assumptions, luby(restart_idx) * 100) {
@@ -604,62 +823,40 @@ impl Solver {
                 SearchOutcome::BudgetExhausted => break SolveResult::Unknown,
             }
         };
-        if result != SolveResult::Sat {
-            self.cancel_until(0);
+        self.flush_governor_charges();
+        if result == SolveResult::Sat {
+            // Snapshot the model for value(); keep the trail so the next
+            // call with a shared assumption prefix resumes cheaply.
+            self.model.clear();
+            self.model.extend_from_slice(&self.assigns);
+            self.last_assumptions.clear();
+            self.last_assumptions.extend_from_slice(assumptions);
         } else {
-            // Keep the model readable via value(); retract on next call.
-            self.cancel_model_lazily();
+            // Unsat/Unknown may leave a conflict latent at the assumption
+            // levels whose watchers have already fired; a kept trail would
+            // hide it from future calls. Unwind fully.
+            self.cancel_until(0);
+            self.last_assumptions.clear();
         }
         result
     }
 
-    fn cancel_model_lazily(&mut self) {
-        // We leave assignments in place so value() reads the model, but the
-        // next solve must start from level 0: record that by truncating
-        // decision bookkeeping now and clearing assignment state lazily.
-        // Simplest correct approach: copy the model, cancel, then restore
-        // assigns for reading.
-        let model = self.assigns.clone();
-        self.cancel_until(0);
-        // Re-apply model values for variables not assigned at level 0 purely
-        // for reading; they are not on the trail so the next solve re-decides
-        // them. Reasons/levels are cleared.
-        for (i, &m) in model.iter().enumerate() {
-            if self.assigns[i] == LBOOL_UNDEF {
-                self.assigns[i] = m;
-            }
-        }
-        // Mark that assigns beyond the trail are "model residue": the next
-        // search clears them in restore_invariants.
-    }
-
-    fn restore_invariants(&mut self) {
-        // Clear model residue: any assigned var not on the trail.
-        let mut on_trail = vec![false; self.num_vars()];
-        for &l in &self.trail {
-            on_trail[l.var().index()] = true;
-        }
-        for i in 0..self.num_vars() {
-            if !on_trail[i] && self.assigns[i] != LBOOL_UNDEF {
-                self.polarity[i] = self.assigns[i] == 1;
-                self.assigns[i] = LBOOL_UNDEF;
-                if self.heap_pos[i] == usize::MAX {
-                    self.heap_insert(Var(i as u32));
-                }
-            }
-        }
-    }
-
     fn search(&mut self, assumptions: &[Lit], conflicts_before_restart: u64) -> SearchOutcome {
-        self.restore_invariants();
         let mut local_conflicts = 0u64;
         loop {
             if let Some(confl) = self.propagate() {
                 self.conflicts += 1;
                 self.solve_conflicts += 1;
                 local_conflicts += 1;
-                if let Some(g) = &self.governor {
-                    g.charge_conflict();
+                if self.governor.is_some() {
+                    self.pending_conflicts += 1;
+                    if self.pending_conflicts >= self.charge_batch {
+                        self.flush_governor_charges();
+                        if self.governor.as_ref().is_some_and(|g| g.solver_should_stop()) {
+                            return SearchOutcome::BudgetExhausted;
+                        }
+                        self.recompute_charge_batch();
+                    }
                 }
                 if self.decision_level() == 0 {
                     // Root-level conflict: the formula itself is
@@ -673,10 +870,8 @@ impl Solver {
                     // Conflict under the assumptions alone.
                     return SearchOutcome::Unsat;
                 }
-                let (learnt, bt) = self.analyze(confl);
-                // Never backtrack past the assumption levels.
-                let bt = bt.max(0);
-                self.cancel_until(bt.max(0));
+                let (learnt, bt, lbd) = self.analyze(confl);
+                self.cancel_until(bt);
                 if learnt.len() == 1 {
                     if self.decision_level() > 0 {
                         // Re-assert below: cancel to a level where it's free.
@@ -691,28 +886,19 @@ impl Solver {
                         self.unchecked_enqueue(learnt[0], None);
                     }
                 } else {
-                    let cref = self.attach_clause(learnt.clone(), true);
+                    let cref = self.attach_clause(learnt.clone(), true, lbd);
                     self.unchecked_enqueue(learnt[0], Some(cref));
                 }
                 self.var_decay();
                 self.cla_inc *= 1.001;
-                if self
-                    .clauses
-                    .iter()
-                    .filter(|c| c.learnt && !c.deleted)
-                    .count()
-                    > self.learnt_cap
-                {
+                if self.num_learnt > self.learnt_cap {
                     self.reduce_db();
-                    self.learnt_cap += self.learnt_cap / 10;
+                    self.learnt_cap += (self.learnt_cap / 10).max(1);
                 }
                 if let Some(b) = self.conflict_budget {
                     if self.solve_conflicts >= b {
                         return SearchOutcome::BudgetExhausted;
                     }
-                }
-                if self.governor.as_ref().is_some_and(|g| g.solver_should_stop()) {
-                    return SearchOutcome::BudgetExhausted;
                 }
                 if local_conflicts >= conflicts_before_restart
                     && self.decision_level() > assumptions.len() as u32
@@ -932,11 +1118,42 @@ mod tests {
         let mut s = pigeonhole(9, 8);
         s.set_governor(g.clone());
         assert_eq!(s.solve(), SolveResult::Unknown);
+        // Batched charging must still stop at *exactly* the cap: the batch
+        // is sized from the governor's slack.
         assert_eq!(g.conflicts_used(), 5);
         assert_eq!(g.exhausted(), Some(Cause::ConflictBudget));
         // Once the global budget is gone, later calls stop at entry.
         assert_eq!(s.solve(), SolveResult::Unknown);
         assert_eq!(s.conflicts_last_solve(), 0);
+    }
+
+    #[test]
+    fn batched_charging_lands_exactly_on_cap() {
+        use pdat_governor::GovernorConfig;
+        // A cap that is neither 0 nor a multiple of the batch size: the
+        // final short batch must still flush before the stop decision.
+        let g = Governor::new(&GovernorConfig {
+            conflict_budget: Some(7),
+            ..Default::default()
+        });
+        let mut s = pigeonhole(9, 8);
+        s.set_governor(g.clone());
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(g.conflicts_used(), 7);
+    }
+
+    #[test]
+    fn governor_charges_flush_on_every_exit_path() {
+        use pdat_governor::GovernorConfig;
+        // Unlimited cap: batches are GOVERNOR_BATCH-sized, so an Unsat
+        // verdict mid-batch must flush the remainder — the global counter
+        // equals the solver's own exact count afterwards.
+        let g = Governor::new(&GovernorConfig::default());
+        let mut s = pigeonhole(8, 7);
+        s.set_governor(g.clone());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(g.conflicts_used(), s.num_conflicts());
+        assert!(s.num_conflicts() > 0);
     }
 
     #[test]
@@ -955,6 +1172,117 @@ mod tests {
         s.set_governor(g);
         assert_eq!(s.solve(), SolveResult::Unknown);
         s.clear_governor();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn governor_fault_threshold_is_exact_under_batching() {
+        use pdat_governor::{FaultPlan, GovernorConfig};
+        let g = Governor::new(&GovernorConfig {
+            fault_plan: FaultPlan {
+                solver_unknown_after_conflicts: Some(3),
+                sim_panic_at: None,
+            },
+            ..Default::default()
+        });
+        let mut s = pigeonhole(9, 8);
+        s.set_governor(g.clone());
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(g.conflicts_used(), 3);
+        assert!(g.solver_should_stop());
+    }
+
+    #[test]
+    fn add_clause_after_sat_model_does_not_poison() {
+        // Regression: the old solver re-applied model values into the
+        // assignment vector after Sat; a following add_clause would read
+        // that residue as top-level facts, manufacture an empty clause, and
+        // latch the whole solver Unsat. The model is now a snapshot.
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let act = s.new_var();
+        s.add_clause(&[Lit::neg(act), Lit::pos(x)]);
+        assert_eq!(s.solve_with(&[Lit::pos(act)]), SolveResult::Sat);
+        assert_eq!(s.value(x), Some(true));
+        // Retiring the activation variable must not contradict anything:
+        // act was an assumption, not a fact.
+        assert!(s.add_clause(&[Lit::neg(act)]), "solver poisoned by model residue");
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve_with(&[Lit::neg(x)]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn model_snapshot_survives_clause_addition() {
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        s.add_clause(&[Lit::pos(x), Lit::pos(y)]);
+        assert_eq!(s.solve_with(&[Lit::neg(y)]), SolveResult::Sat);
+        assert_eq!(s.value(x), Some(true));
+        // Adding a clause unwinds the trail but the snapshot keeps reading.
+        s.add_clause(&[Lit::pos(y), Lit::neg(x)]);
+        assert_eq!(s.value(x), Some(true));
+    }
+
+    #[test]
+    fn selectors_toggle_guarded_clause_groups() {
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let s1 = s.new_selector();
+        let s2 = s.new_selector();
+        s.add_guarded_clause(s1, &[Lit::pos(x)]);
+        s.add_guarded_clause(s2, &[Lit::neg(x)]);
+        assert_eq!(s.solve_with(&[s1]), SolveResult::Sat);
+        assert_eq!(s.value(x), Some(true));
+        assert_eq!(s.solve_with(&[s2]), SolveResult::Sat);
+        assert_eq!(s.value(x), Some(false));
+        assert_eq!(s.solve_with(&[s1, s2]), SolveResult::Unsat);
+        // Both groups off: unconstrained, and the solver is still healthy.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Permanently retiring a group is a unit clause on the selector.
+        assert!(s.add_clause(&[!s1]));
+        assert_eq!(s.solve_with(&[s2]), SolveResult::Sat);
+        assert_eq!(s.value(x), Some(false));
+    }
+
+    #[test]
+    fn assumption_prefix_reuse_is_sound_across_verdict_flips() {
+        // Shared prefix [a]; the suffix flips between compatible and
+        // contradictory assumptions. The kept trail must never leak a
+        // stale verdict.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        s.add_clause(&[Lit::neg(a), Lit::pos(b), Lit::pos(c)]);
+        assert_eq!(
+            s.solve_with(&[Lit::pos(a), Lit::neg(b), Lit::neg(c)]),
+            SolveResult::Unsat
+        );
+        assert_eq!(s.solve_with(&[Lit::pos(a), Lit::neg(b)]), SolveResult::Sat);
+        assert_eq!(s.value(c), Some(true));
+        assert_eq!(
+            s.solve_with(&[Lit::pos(a), Lit::neg(c), Lit::neg(b)]),
+            SolveResult::Unsat
+        );
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn clause_db_reduction_preserves_verdicts() {
+        // A tight learnt cap forces many reduction passes mid-search; the
+        // verdict must not change (deleting learnt clauses is always sound).
+        let mut s = pigeonhole(8, 7);
+        s.set_clause_db_limit(32);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..30).map(|_| s.new_var()).collect();
+        for w in vars.windows(3) {
+            s.add_clause(&[Lit::pos(w[0]), Lit::pos(w[1]), Lit::pos(w[2])]);
+            s.add_clause(&[Lit::neg(w[0]), Lit::neg(w[2])]);
+        }
+        s.set_clause_db_limit(4);
         assert_eq!(s.solve(), SolveResult::Sat);
     }
 }

@@ -21,3 +21,8 @@ cargo test -q --workspace
 # and check the graceful-degradation contract (no aborts, proved set
 # bounded by the fault-free oracle).
 ./target/release/fault_smoke 12
+
+# Prover gate: governed sharded prover (2 threads, one candidate per
+# shard) on the keyed design must reproduce the golden proved list with
+# no degradation events.
+./target/release/prove_smoke

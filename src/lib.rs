@@ -9,7 +9,7 @@ pub use pdat::{
     run_pdat, run_pdat_governed, run_pdat_with, rv_constraint, thumb_constraint, Candidate,
     CandidateKind, Cause, ConstraintMode, DegradationEvent, Environment, ExtraRestriction,
     FaultPlan, Governor, GovernorConfig, InstrConstraint, PdatConfig, PdatError, PdatResult,
-    Stage,
+    ProveConfig, Stage,
 };
 pub use pdat_governor as governor;
 pub use pdat_aig as aig;

@@ -13,7 +13,7 @@ use pdat_repro::isa::RvSubset;
 use pdat_repro::netlist::{CellKind, Netlist};
 use pdat_repro::{
     run_pdat, Candidate, CandidateKind, Cause, ConstraintMode, Environment, PdatConfig,
-    PdatResult,
+    PdatResult, ProveConfig,
 };
 use std::collections::HashSet;
 
@@ -143,6 +143,47 @@ fn conflict_budget_one_is_subset_on_ibex() {
         free_set.len()
     );
     starved.netlist.validate().expect("degraded netlist valid");
+}
+
+/// Sharded proving keeps the subset guarantee under starvation at every
+/// thread count: each shard pre-apportions its slice of the global
+/// conflict pool and conservatively drops what it cannot finish, so a
+/// starved parallel run may only prove a subset of what the unbudgeted
+/// single-thread fixpoint proves — never something new.
+#[test]
+fn starved_parallel_proving_is_subset_per_thread_count() {
+    let nl = keyed_design();
+    let free = run_pdat(&nl, &Environment::Unconstrained, &base_config()).expect("pdat run");
+    assert!(free.proved >= 1, "oracle run proves the key invariant");
+    assert!(free.degradations.is_empty(), "oracle run is unbudgeted");
+    let free_set = proved_set(&free);
+
+    for threads in [1usize, 2, 4, 8] {
+        let starved_cfg = PdatConfig {
+            global_conflict_budget: Some(1),
+            prove: ProveConfig {
+                threads,
+                shard_size: 1, // one candidate per shard: worst-case split
+                ..Default::default()
+            },
+            ..base_config()
+        };
+        let starved = run_pdat(&nl, &Environment::Unconstrained, &starved_cfg).expect("pdat run");
+        let starved_set = proved_set(&starved);
+        assert!(
+            starved_set.is_subset(&free_set),
+            "threads={threads}: a starved parallel prover must not invent proofs"
+        );
+        assert!(
+            starved
+                .degradations
+                .iter()
+                .any(|e| e.cause == Cause::ConflictBudget),
+            "threads={threads}: starvation must be recorded: {:?}",
+            starved.degradations
+        );
+        starved.netlist.validate().expect("degraded netlist valid");
+    }
 }
 
 #[test]

@@ -4,10 +4,19 @@
 //! commutative union — so the proved invariant set, the transformed
 //! netlist, and the falsification counters must be bit-identical no matter
 //! how many worker threads run the simulation.
+//!
+//! The proving stage makes the same promise for its sharded fixpoint:
+//! shard contents, per-shard conflict allowances, and the round structure
+//! depend only on `(candidate order, shard_size)` — threads only decide
+//! which worker happens to run a shard — so the proved invariants and the
+//! per-shard solver counters must be bit-identical for any thread count.
 
 use pdat_repro::cores::build_ibex;
 use pdat_repro::isa::RvSubset;
-use pdat_repro::{run_pdat, ConstraintMode, Environment, PdatConfig, PdatResult};
+use pdat_repro::netlist::{CellKind, Netlist};
+use pdat_repro::{
+    run_pdat, ConstraintMode, Environment, PdatConfig, PdatResult, ProveConfig,
+};
 
 fn config_with_threads(threads: usize) -> PdatConfig {
     PdatConfig {
@@ -62,4 +71,110 @@ fn proved_set_is_identical_for_1_2_4_threads() {
     // invariance claim to mean anything.
     assert!(r1.sim_stats.kills > 0, "falsification killed nothing");
     assert_eq!(r1.sim_stats.lane_blocks, 4);
+}
+
+fn prover_config(threads: usize, shard_size: usize) -> PdatConfig {
+    PdatConfig {
+        sim_cycles: 96,
+        conflict_budget: Some(40_000),
+        max_iterations: 1_000,
+        seed: 0x9A8D,
+        prove: ProveConfig {
+            threads,
+            shard_size,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Compare two runs of the sharded prover: the proved invariants (values
+/// *and* order) and every per-shard solver counter must match exactly.
+fn assert_prove_identical(base: &PdatResult, other: &PdatResult, label: &str) {
+    assert_eq!(
+        base.proved_invariants, other.proved_invariants,
+        "{label}: proved invariant list diverged"
+    );
+    let (a, b) = (&base.houdini_stats, &other.houdini_stats);
+    assert_eq!(a.iterations, b.iterations, "{label}: solve count diverged");
+    assert_eq!(a.rounds, b.rounds, "{label}: round count diverged");
+    assert_eq!(a.dropped, b.dropped, "{label}: cex drop count diverged");
+    assert_eq!(a.conflicts, b.conflicts, "{label}: conflict total diverged");
+    assert_eq!(
+        a.shard_stats.len(),
+        b.shard_stats.len(),
+        "{label}: shard count diverged"
+    );
+    for (sa, sb) in a.shard_stats.iter().zip(&b.shard_stats) {
+        assert_eq!(
+            (sa.shard, sa.candidates, sa.proved, sa.solves, sa.conflicts),
+            (sb.shard, sb.candidates, sb.proved, sb.solves, sb.conflicts),
+            "{label}: shard {} counters diverged",
+            sa.shard
+        );
+    }
+}
+
+#[test]
+fn prover_is_identical_for_1_2_4_8_threads_on_ibex() {
+    let core = build_ibex();
+    let subset = RvSubset::rv32i();
+    let env = Environment::Rv {
+        subset: &subset,
+        ports: vec![core.cut_fetch.clone()],
+        mode: ConstraintMode::CutpointBased,
+    };
+    // shard_size 1024 splits the ibex survivor set into ~9 shards, so
+    // every thread count from 1 to 8 actually exercises work stealing
+    // across multiple shards and multiple fixpoint rounds.
+    let base = run_pdat(&core.netlist, &env, &prover_config(1, 1024)).expect("pdat run");
+    assert!(
+        base.houdini_stats.shard_stats.len() > 4,
+        "fixture must shard: got {} shards",
+        base.houdini_stats.shard_stats.len()
+    );
+    assert!(base.proved > 0, "fixture must prove something");
+    assert!(base.houdini_stats.dropped > 0, "fixture must drop something");
+    for threads in [2usize, 4, 8] {
+        let r = run_pdat(&core.netlist, &env, &prover_config(threads, 1024)).expect("pdat run");
+        assert_prove_identical(&base, &r, &format!("ibex threads={threads}"));
+        assert_eq!(
+            base.optimized, r.optimized,
+            "ibex threads={threads}: optimized netlist stats diverged"
+        );
+    }
+}
+
+/// The keyed-design fixture: a key DFF stuck at 1 gates a mux between the
+/// real function and a decoy; proving the key constant requires mutual
+/// induction across shard boundaries when shard_size forces one candidate
+/// per shard.
+fn keyed_design() -> Netlist {
+    let mut nl = Netlist::new("locked");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let fb = nl.add_net("fb");
+    let key = nl.add_dff(fb, true, "key");
+    nl.assign_alias(fb, key);
+    let t = nl.add_cell(CellKind::And2, &[a, b], "t");
+    let decoy = nl.add_cell(CellKind::Xor2, &[a, b], "decoy");
+    let out = nl.add_cell(CellKind::Mux2, &[decoy, t, key], "out");
+    nl.add_output("y", out);
+    nl
+}
+
+#[test]
+fn prover_is_identical_for_1_2_4_8_threads_on_keyed_design() {
+    let nl = keyed_design();
+    let base = run_pdat(&nl, &Environment::Unconstrained, &prover_config(1, 1)).expect("pdat run");
+    assert!(base.proved >= 1, "keyed design proves the key invariant");
+    assert!(
+        base.houdini_stats.shard_stats.len() >= 2,
+        "one candidate per shard must yield multiple shards"
+    );
+    for threads in [2usize, 4, 8] {
+        let r = run_pdat(&nl, &Environment::Unconstrained, &prover_config(threads, 1))
+            .expect("pdat run");
+        assert_prove_identical(&base, &r, &format!("keyed threads={threads}"));
+    }
 }
