@@ -163,7 +163,16 @@ fn main() {
     for &(threads, shard_size) in sweep {
         let cfg = houdini_config(threads, shard_size);
         let mut best = [f64::MAX; 2];
-        let mut last_stats = None;
+        // Per-shard timings are *accumulated over every armed rep* and
+        // reported as per-rep means. (A previous revision reported the
+        // last rep's raw timings next to a best-of-reps wall time, which
+        // let a shard's solve_seconds exceed the wall it was printed
+        // under — nonsense for a single-thread run.)
+        let mut armed_reps = 0u32;
+        let mut armed_wall_total = 0.0f64;
+        let mut shard_acc: Vec<pdat_mc::ShardStats> = Vec::new();
+        let mut rounds = 0usize;
+        let mut iterations = 0usize;
         for _ in 0..prove_reps {
             for (mode, b) in best.iter_mut().enumerate() {
                 let gov = if mode == 0 {
@@ -187,27 +196,61 @@ fn main() {
                     *b = dt;
                 }
                 if mode == 1 {
-                    last_stats = Some(stats);
+                    armed_reps += 1;
+                    armed_wall_total += dt;
+                    rounds = stats.rounds;
+                    iterations = stats.iterations;
+                    if shard_acc.is_empty() {
+                        shard_acc = stats.shard_stats.clone();
+                    } else {
+                        assert_eq!(shard_acc.len(), stats.shard_stats.len());
+                        for (acc, ss) in shard_acc.iter_mut().zip(&stats.shard_stats) {
+                            // Work counters are deterministic across reps;
+                            // only the timings vary.
+                            assert_eq!((acc.shard, acc.candidates), (ss.shard, ss.candidates));
+                            acc.encode_seconds += ss.encode_seconds;
+                            acc.solve_seconds += ss.solve_seconds;
+                        }
+                    }
                 }
             }
+        }
+        for acc in &mut shard_acc {
+            acc.encode_seconds /= f64::from(armed_reps);
+            acc.solve_seconds /= f64::from(armed_reps);
+        }
+        let shard_busy: f64 = shard_acc
+            .iter()
+            .map(|s| s.encode_seconds + s.solve_seconds)
+            .sum();
+        let armed_wall_mean = armed_wall_total / f64::from(armed_reps);
+        // Sanity: a single worker thread cannot be busy inside shards for
+        // longer than the whole stage ran (small epsilon for clock skew
+        // between the inner and outer Instant reads).
+        if threads == 1 {
+            assert!(
+                shard_busy <= armed_wall_mean * 1.02 + 0.01,
+                "shard timings exceed wall: {shard_busy:.4}s of shard work \
+                 inside a {armed_wall_mean:.4}s mean run"
+            );
         }
         if threads == 1 {
             best_prove_1t = best;
         }
-        let stats = last_stats.expect("at least one armed rep ran");
         let overhead = 100.0 * (best[1] / best[0] - 1.0);
         println!(
             "  prove t={threads} shard={shard_size}: unlimited {:.4}s, armed {:.4}s -> {:+.2}% \
-             ({} shards, {} rounds, {} solves)",
+             ({} shards, {} rounds, {} solves, {:.4}s mean shard busy)",
             best[0],
             best[1],
             overhead,
-            stats.shard_stats.len(),
-            stats.rounds,
-            stats.iterations,
+            shard_acc.len(),
+            rounds,
+            iterations,
+            shard_busy,
         );
         let mut shards_json = String::new();
-        for ss in &stats.shard_stats {
+        for ss in &shard_acc {
             if !shards_json.is_empty() {
                 shards_json.push_str(", ");
             }
@@ -224,9 +267,10 @@ fn main() {
         sweep_json.push_str(&format!(
             "{{\"threads\": {}, \"shard_size\": {}, \"unlimited_seconds\": {:.6}, \
              \"armed_seconds\": {:.6}, \"overhead_percent\": {:.3}, \"rounds\": {}, \
-             \"solves\": {}, \"shards\": [{}]}}",
-            threads, shard_size, best[0], best[1], overhead, stats.rounds, stats.iterations,
-            shards_json
+             \"solves\": {}, \"armed_reps\": {}, \"armed_wall_mean_seconds\": {:.6}, \
+             \"shard_seconds_are_per_rep_means\": true, \"shards\": [{}]}}",
+            threads, shard_size, best[0], best[1], overhead, rounds, iterations, armed_reps,
+            armed_wall_mean, shards_json
         ));
     }
     let proved_count = golden.as_ref().map_or(0, |g| g.len());

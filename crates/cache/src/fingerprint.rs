@@ -1,0 +1,162 @@
+//! Stable 64-bit content fingerprints.
+//!
+//! `std::collections::hash_map::DefaultHasher` is explicitly not
+//! guaranteed stable across releases or processes, so cache keys use
+//! FNV-1a with the canonical offset basis — fixed for all time, cheap,
+//! and good enough for a cache (a collision costs a wrong warm-start
+//! *attempt*, and warm starts are only taken from environments whose
+//! canonical form is re-checked structurally, so a 64-bit collision on
+//! the netlist digest is the only way to go wrong).
+
+use pdat_netlist::{Driver, Netlist};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+}
+
+impl Fnv {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv {
+        Fnv::default()
+    }
+
+    /// Absorb raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorb a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Absorb a `u32` (widened; keeps call sites honest about width).
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Absorb a single byte tag.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.bytes(&[v])
+    }
+
+    /// Absorb a length-prefixed string.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes())
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Content fingerprint of a netlist's analysis-relevant structure.
+///
+/// Covers everything the PDAT pipeline's result can depend on: the input
+/// list, named outputs, every net's driver, and every cell's kind, pin
+/// connections, and reset value. Net *names* (other than output names)
+/// are excluded — renaming internal nets neither changes the proved
+/// invariants nor the resynthesis result, so it must not miss the cache.
+pub fn netlist_fingerprint(nl: &Netlist) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(nl.num_nets() as u64);
+    h.u64(nl.inputs().len() as u64);
+    for n in nl.inputs() {
+        h.u32(n.0);
+    }
+    h.u64(nl.outputs().len() as u64);
+    for (name, n) in nl.outputs() {
+        h.str(name).u32(n.0);
+    }
+    for (id, _) in nl.nets() {
+        match nl.driver(id) {
+            Driver::Input => h.u8(1),
+            Driver::Cell(c) => h.u8(2).u32(c.0),
+            Driver::Const(b) => h.u8(3).u8(u8::from(b)),
+            Driver::Alias(n) => h.u8(4).u32(n.0),
+            Driver::None => h.u8(5),
+        };
+    }
+    let mut cells = 0u64;
+    for (_, c) in nl.cells() {
+        cells += 1;
+        h.u8(c.kind as u8);
+        h.u8(u8::from(c.init));
+        h.u32(c.output.0);
+        h.u64(c.inputs.len() as u64);
+        for n in &c.inputs {
+            h.u32(n.0);
+        }
+    }
+    h.u64(cells);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdat_netlist::CellKind;
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new("fp");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_cell(CellKind::And2, &[a, b], "y");
+        nl.add_output("y", y);
+        nl
+    }
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a of the empty input is the offset basis; of "a" it is the
+        // published test vector.
+        assert_eq!(Fnv::new().finish(), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fnv::new().bytes(b"a").finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_structure_sensitive() {
+        let base = netlist_fingerprint(&sample());
+        assert_eq!(base, netlist_fingerprint(&sample()), "deterministic");
+
+        let mut other = sample();
+        let a = other.inputs()[0];
+        other.assign_const(a, false);
+        assert_ne!(base, netlist_fingerprint(&other), "driver change seen");
+
+        let mut bigger = Netlist::new("fp");
+        let a = bigger.add_input("a");
+        let b = bigger.add_input("b");
+        let y = bigger.add_cell(CellKind::Or2, &[a, b], "y");
+        bigger.add_output("y", y);
+        assert_ne!(base, netlist_fingerprint(&bigger), "cell kind seen");
+    }
+
+    #[test]
+    fn internal_net_names_do_not_matter() {
+        let mut nl1 = Netlist::new("n1");
+        let a = nl1.add_input("a");
+        let x = nl1.add_cell(CellKind::Inv, &[a], "mid_x");
+        nl1.add_output("o", x);
+        let mut nl2 = Netlist::new("n2");
+        let a = nl2.add_input("in_renamed");
+        let x = nl2.add_cell(CellKind::Inv, &[a], "mid_y");
+        nl2.add_output("o", x);
+        assert_eq!(netlist_fingerprint(&nl1), netlist_fingerprint(&nl2));
+    }
+}

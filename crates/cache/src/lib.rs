@@ -1,0 +1,37 @@
+//! Subset-lattice proof cache (PDAT reproduction).
+//!
+//! ISA subsets form a lattice under "allows every execution of": RV32IM
+//! ⊇ RV32I ⊇ safety-critical-RV32I, and every extra environment
+//! restriction only moves a configuration further down. Invariants are
+//! *monotone* along that order — anything proved under environment `E`
+//! holds under every `E' ⊆ E`, because `E'`'s executions are a subset of
+//! `E`'s. A sweep over many candidate subsets of one core therefore
+//! re-proves mostly the same facts over and over.
+//!
+//! This crate is the memoization layer that exploits both facts:
+//!
+//! * **Content addressing** — a cache key is `(netlist fingerprint,
+//!   canonical environment fingerprint)`, both stable 64-bit FNV-1a
+//!   digests of canonical forms, so hits survive process restarts and
+//!   textual reorderings of the same constraint set.
+//! * **Exact hits** — the identical `(netlist, environment)` pair was
+//!   already solved: return the proved invariants and the recorded
+//!   resynthesis summary without touching a solver.
+//! * **Lattice hits** — a cached environment `E` is a superset of the
+//!   request `E'`: the cached proved set is sound for `E'` and is handed
+//!   to the Houdini engine as warm-start invariants (assumed, never
+//!   re-checked), shrinking the work to the delta.
+//!
+//! The crate deliberately depends only on `pdat-netlist` (fingerprints,
+//! stats) and `pdat-mc` ([`pdat_mc::CandidateId`]); the pipeline crate
+//! layers the lattice cache over its own run functions.
+
+mod cache;
+mod env;
+mod fingerprint;
+mod io;
+
+pub use cache::{CacheLookup, CacheStats, CachedRun, CachedSummary, ProofCache};
+pub use env::{CanonicalEnv, CanonicalExtra, CanonicalForm, EnvMode};
+pub use fingerprint::{netlist_fingerprint, Fnv};
+pub use io::{load_cache, save_cache, CacheIoError};

@@ -8,6 +8,7 @@
 //! drives the constrained-random stimulus for the falsification stage.
 
 use pdat_aig::{Aig, AigLit};
+use pdat_cache::CanonicalForm;
 use pdat_isa::armv6m::ThumbInstr;
 use pdat_isa::rv32::RvInstr;
 use pdat_isa::{Pattern, PatternWidth, RvSubset, ThumbSubset};
@@ -138,16 +139,11 @@ fn rv_reg_limit_bits(form: RvInstr) -> u32 {
     }
 }
 
-/// Compile an RV32 subset into a constraint over a 32-bit instruction word
-/// whose bits are the AIG inputs at `input_indices`.
-pub fn rv_constraint(
-    aig: &mut Aig,
-    input_lits: &[AigLit],
-    input_indices: Vec<usize>,
-    subset: &RvSubset,
-) -> (AigLit, InstrConstraint) {
-    let all_priority: Vec<Pattern> = RvInstr::ALL.iter().map(|f| f.pattern()).collect();
-    let allowed: Vec<(Pattern, u32)> = RvInstr::ALL
+/// The allowed `(pattern, forbidden-bits)` list an RV32 subset compiles
+/// to — the single source of truth shared by the recognizer circuit, the
+/// constrained-stimulus sampler, and the proof cache's canonical key.
+fn rv_allowed_forms(subset: &RvSubset) -> Vec<(Pattern, u32)> {
+    RvInstr::ALL
         .iter()
         .filter(|f| subset.contains(**f))
         .map(|f| {
@@ -158,7 +154,68 @@ pub fn rv_constraint(
             };
             (f.pattern(), forbidden)
         })
+        .collect()
+}
+
+/// The allowed halfword list a Thumb subset compiles to (see
+/// [`thumb_constraint`] for the 32-bit-form imprecision).
+fn thumb_allowed_forms(subset: &ThumbSubset) -> Vec<(Pattern, u32)> {
+    let mut allowed: Vec<(Pattern, u32)> = ThumbInstr::ALL
+        .iter()
+        .filter(|f| !f.is_32bit() && subset.contains(**f))
+        .map(|f| (f.pattern(), 0))
         .collect();
+    // If any 32-bit form is allowed, permit its halfword encodings.
+    if ThumbInstr::ALL
+        .iter()
+        .any(|f| f.is_32bit() && subset.contains(*f))
+    {
+        // hw1 prefixes and the (BL-style) second halfword.
+        allowed.push((Pattern::half(0xF800, 0xF000), 0));
+        allowed.push((Pattern::half(0xF800, 0xF800), 0));
+        allowed.push((Pattern::half(0xD000, 0xD000), 0));
+    }
+    allowed
+}
+
+fn to_canonical(forms: &[(Pattern, u32)]) -> Vec<CanonicalForm> {
+    forms
+        .iter()
+        .map(|(p, forbidden)| CanonicalForm {
+            half: p.width == PatternWidth::Half,
+            mask: p.mask,
+            value: p.value,
+            forbidden: *forbidden,
+        })
+        .collect()
+}
+
+/// Canonical cache forms for an RV32 subset: exactly the form set
+/// [`rv_constraint`] compiles, so environments that build identical
+/// recognizers canonicalize identically. (The recognizer's
+/// priority-exclusion terms depend only on the full form inventory, not
+/// on the subset, so per-form identity is the whole constraint
+/// identity.)
+pub fn rv_canonical_forms(subset: &RvSubset) -> Vec<CanonicalForm> {
+    to_canonical(&rv_allowed_forms(subset))
+}
+
+/// Canonical cache forms for a Thumb subset (see
+/// [`rv_canonical_forms`]).
+pub fn thumb_canonical_forms(subset: &ThumbSubset) -> Vec<CanonicalForm> {
+    to_canonical(&thumb_allowed_forms(subset))
+}
+
+/// Compile an RV32 subset into a constraint over a 32-bit instruction word
+/// whose bits are the AIG inputs at `input_indices`.
+pub fn rv_constraint(
+    aig: &mut Aig,
+    input_lits: &[AigLit],
+    input_indices: Vec<usize>,
+    subset: &RvSubset,
+) -> (AigLit, InstrConstraint) {
+    let all_priority: Vec<Pattern> = RvInstr::ALL.iter().map(|f| f.pattern()).collect();
+    let allowed = rv_allowed_forms(subset);
     let lit = allowed_lit(aig, input_lits, &allowed, &all_priority);
     let sampler = Sampler {
         forms: allowed
@@ -199,22 +256,7 @@ pub fn thumb_constraint(
         .filter(|f| !f.is_32bit())
         .map(|f| f.pattern())
         .collect();
-    let mut allowed: Vec<(Pattern, u32)> = ThumbInstr::ALL
-        .iter()
-        .filter(|f| !f.is_32bit() && subset.contains(**f))
-        .map(|f| (f.pattern(), 0))
-        .collect();
-    // If any 32-bit form is allowed, permit its halfword encodings.
-    let wide: Vec<&ThumbInstr> = ThumbInstr::ALL
-        .iter()
-        .filter(|f| f.is_32bit() && subset.contains(**f))
-        .collect();
-    if !wide.is_empty() {
-        // hw1 prefixes and the (BL-style) second halfword.
-        allowed.push((Pattern::half(0xF800, 0xF000), 0));
-        allowed.push((Pattern::half(0xF800, 0xF800), 0));
-        allowed.push((Pattern::half(0xD000, 0xD000), 0));
-    }
+    let allowed = thumb_allowed_forms(subset);
     let lit = allowed_lit(aig, input_lits, &allowed, &all_priority);
     let sampler = Sampler {
         forms: allowed
@@ -345,6 +387,58 @@ mod tests {
                 assert!(subset.contains(form), "{form} outside subset");
             }
         }
+    }
+
+    #[test]
+    fn canonical_forms_are_name_independent_and_content_sensitive() {
+        use pdat_cache::{CanonicalEnv, EnvMode};
+        let key = |s: &RvSubset| {
+            CanonicalEnv::canonicalize(
+                EnvMode::RvPort,
+                vec![(0..32).collect()],
+                rv_canonical_forms(s),
+                vec![],
+            )
+            .fingerprint()
+        };
+        let mut renamed = RvSubset::rv32i();
+        renamed.name = "renamed".to_string();
+        assert_eq!(key(&RvSubset::rv32i()), key(&renamed));
+        assert_ne!(key(&RvSubset::rv32i()), key(&RvSubset::rv32im()));
+        assert_ne!(
+            key(&RvSubset::rv32i()),
+            key(&RvSubset::rv32e()),
+            "register ceilings are part of the constraint identity"
+        );
+    }
+
+    #[test]
+    fn golden_cache_keys_are_stable() {
+        // Golden fingerprints: these must never change across releases —
+        // a silent change invalidates (or worse, mis-hits) every
+        // persisted proof cache. If an intentional format change breaks
+        // them, bump the cache file version in `pdat-cache::io` and
+        // re-pin.
+        use pdat_cache::{CanonicalEnv, EnvMode};
+        let rv = CanonicalEnv::canonicalize(
+            EnvMode::RvPort,
+            vec![(0..32).collect()],
+            rv_canonical_forms(&RvSubset::rv32i()),
+            vec![],
+        );
+        assert_eq!(rv.fingerprint(), 0x37137c0d8b941845, "RV32I port-mode key");
+        let thumb = CanonicalEnv::canonicalize(
+            EnvMode::ThumbCut,
+            vec![(0..16).collect()],
+            thumb_canonical_forms(&ThumbSubset::interesting_subset()),
+            vec![],
+        );
+        assert_eq!(thumb.fingerprint(), 0x401cdf76d12dedd6, "Thumb cut-mode key");
+        assert_eq!(
+            CanonicalEnv::unconstrained().fingerprint(),
+            0xd4657f55662f817f,
+            "unconstrained key"
+        );
     }
 
     #[test]

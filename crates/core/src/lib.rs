@@ -56,12 +56,22 @@
 mod constraint;
 mod pipeline;
 
-pub use constraint::{rv_constraint, thumb_constraint, ConstraintMode, InstrConstraint};
+pub use constraint::{
+    rv_canonical_forms, rv_constraint, thumb_canonical_forms, thumb_constraint, ConstraintMode,
+    InstrConstraint,
+};
+pub use pdat_cache::{
+    load_cache, netlist_fingerprint, save_cache, CacheIoError, CacheLookup, CacheStats, CachedRun,
+    CachedSummary, CanonicalEnv, CanonicalExtra, CanonicalForm, EnvMode, ProofCache,
+};
 pub use pdat_governor::{
     Cause, DegradationEvent, FaultPlan, Governor, GovernorConfig, Stage,
 };
-pub use pdat_mc::{Candidate, CandidateKind, HoudiniStats, ProveConfig, ShardStats, SimFilterStats};
+pub use pdat_mc::{
+    Candidate, CandidateId, CandidateKind, HoudiniStats, ProveConfig, ShardStats, SimFilterStats,
+};
 pub use pipeline::{
-    run_pdat, run_pdat_governed, run_pdat_with, Environment, ExtraRestriction, PdatConfig,
-    PdatError, PdatResult,
+    canonical_env, run_pdat, run_pdat_batch, run_pdat_batch_governed, run_pdat_cached,
+    run_pdat_cached_governed, run_pdat_governed, run_pdat_with, BatchRequest, CacheEffect,
+    Environment, ExtraRestriction, PdatConfig, PdatError, PdatResult, SubsetReport,
 };

@@ -1,13 +1,21 @@
 //! The PDAT pipeline (paper Fig. 2): annotate → property-check → rewire →
 //! resynthesize.
 
-use crate::constraint::{rv_constraint, thumb_constraint, ConstraintMode, InstrConstraint};
+use crate::constraint::{
+    rv_canonical_forms, rv_constraint, thumb_canonical_forms, thumb_constraint, ConstraintMode,
+    InstrConstraint,
+};
 use pdat_aig::{netlist_to_aig, AigLit, NetlistAig};
+use pdat_cache::{
+    netlist_fingerprint, CacheLookup, CachedRun, CachedSummary, CanonicalEnv, CanonicalExtra,
+    EnvMode, ProofCache,
+};
 use pdat_governor::{DegradationEvent, FaultPlan, Governor, GovernorConfig};
 use pdat_isa::{RvSubset, ThumbSubset};
 use pdat_mc::{
-    candidates_for_netlist, houdini_prove_governed, simulate_filter_governed, Candidate,
-    CandidateKind, HoudiniConfig, HoudiniStats, ProveConfig, SimFilterConfig, SimFilterStats,
+    candidates_for_netlist, houdini_prove_warm_governed, simulate_filter_governed, Candidate,
+    CandidateId, CandidateKind, HoudiniConfig, HoudiniStats, ProveConfig, SimFilterConfig,
+    SimFilterStats,
 };
 use pdat_netlist::{Driver, NetId, Netlist, NetlistStats, ParseNetlistError, ValidateError};
 use pdat_synth::resynthesize_governed;
@@ -290,18 +298,25 @@ pub fn run_pdat_governed(
     governor: &Governor,
 ) -> Result<PdatResult, PdatError> {
     netlist.validate()?;
+    let baseline = baseline_stats(netlist);
+    let na = netlist_to_aig(netlist, &cut_nets_for(env));
+    let candidates = candidates_for_netlist(netlist, &na);
+    run_prepared(
+        netlist, baseline, na, candidates, env, extras, &[], config, governor,
+    )
+}
 
-    // Baseline: plain synthesis, no properties. Ungoverned on purpose:
-    // the baseline is the comparison yardstick and must not shift with
-    // budget settings.
+/// Baseline: plain synthesis, no properties. Ungoverned on purpose: the
+/// baseline is the comparison yardstick and must not shift with budget
+/// settings.
+fn baseline_stats(netlist: &Netlist) -> NetlistStats {
     let (baseline_nl, _, _) = resynthesize_governed(netlist, &Governor::unlimited());
-    let baseline = baseline_nl.stats();
+    baseline_nl.stats()
+}
 
-    let mut degradations: Vec<DegradationEvent> = Vec::new();
-    let t0 = Instant::now();
-
-    // --- Stage 0/1: build the analysis model + environment restriction ---
-    let cut_nets: Vec<NetId> = match env {
+/// The nets cut from their drivers for this environment's analysis AIG.
+fn cut_nets_for(env: &Environment<'_>) -> Vec<NetId> {
+    match env {
         Environment::Rv {
             ports,
             mode: ConstraintMode::CutpointBased,
@@ -313,18 +328,56 @@ pub fn run_pdat_governed(
             ..
         } => port.clone(),
         _ => Vec::new(),
-    };
-    let mut na = netlist_to_aig(netlist, &cut_nets);
+    }
+}
+
+/// The pipeline proper, over a pre-built analysis model. `warm` is a set
+/// of invariants already proved under a *superset* environment (every
+/// execution allowed here was allowed there): lattice monotonicity makes
+/// them invariants here too, so they skip falsification entirely and
+/// enter the Houdini fixpoint as permanently-assumed facts (see
+/// [`houdini_prove_warm_governed`] for the exactness argument — the
+/// unbudgeted warm-started proved set is identical to the cold one).
+#[allow(clippy::too_many_arguments)]
+fn run_prepared(
+    netlist: &Netlist,
+    baseline: NetlistStats,
+    mut na: NetlistAig,
+    candidates: Vec<Candidate>,
+    env: &Environment<'_>,
+    extras: &[ExtraRestriction],
+    warm: &[CandidateId],
+    config: &PdatConfig,
+    governor: &Governor,
+) -> Result<PdatResult, PdatError> {
+    let mut degradations: Vec<DegradationEvent> = Vec::new();
+    let t0 = Instant::now();
+
+    // --- Stage 0/1: environment restriction onto the analysis model ---
     let (mut constraint, instr_constraints) = build_constraint(&mut na, netlist, env)?;
     for extra in extras {
         let lit = build_extra(&mut na, extra);
         constraint = na.aig.and(constraint, lit);
     }
     let constraint = constraint;
-
-    // --- Annotate: bind the Property Library to every gate ---
-    let candidates = candidates_for_netlist(netlist, &na);
     let n_candidates = candidates.len();
+
+    // Warm candidates are known-true invariants: simulation can never
+    // kill them, so simulating them is pure waste. Filtering them out
+    // does not perturb the survivors of the rest — the stimulus stream
+    // depends only on the seed, and falsification is per-candidate
+    // independent — so the merged survivor set below is bit-identical
+    // to what a cold run computes.
+    let warm_ids: HashSet<CandidateId> = warm.iter().copied().collect();
+    let sim_input: Vec<Candidate> = if warm_ids.is_empty() {
+        candidates.clone()
+    } else {
+        candidates
+            .iter()
+            .filter(|c| !warm_ids.contains(&c.canonical_id()))
+            .copied()
+            .collect()
+    };
 
     // --- Falsify by constrained random simulation ---
     let constraints_ref = &instr_constraints;
@@ -336,10 +389,10 @@ pub fn run_pdat_governed(
             c.drive(rng, words);
         }
     };
-    let (survivors, sim_stats, sim_events) = simulate_filter_governed(
+    let (sim_survivors, sim_stats, sim_events) = simulate_filter_governed(
         &na,
         constraint,
-        &candidates,
+        &sim_input,
         &SimFilterConfig {
             cycles: config.sim_cycles,
             lane_blocks: config.lane_blocks,
@@ -351,15 +404,28 @@ pub fn run_pdat_governed(
         governor,
     );
     degradations.extend(sim_events);
+    let survivors: Vec<Candidate> = if warm_ids.is_empty() {
+        sim_survivors
+    } else {
+        // Merge in original candidate order so the Houdini shard
+        // partition stays deterministic in candidate identity.
+        let alive: HashSet<Candidate> = sim_survivors.into_iter().collect();
+        candidates
+            .iter()
+            .filter(|c| warm_ids.contains(&c.canonical_id()) || alive.contains(c))
+            .copied()
+            .collect()
+    };
     let n_survivors = survivors.len();
     let t1 = Instant::now();
 
-    // --- Prove by mutual induction ---
-    let (proved, houdini_stats, prove_events) = houdini_prove_governed(
+    // --- Prove by mutual induction (warm invariants pre-assumed) ---
+    let (proved, houdini_stats, prove_events) = houdini_prove_warm_governed(
         &na.aig,
         constraint,
         &na,
         &survivors,
+        warm,
         &HoudiniConfig {
             conflict_budget: config.conflict_budget,
             max_iterations: config.max_iterations,
@@ -392,6 +458,337 @@ pub fn run_pdat_governed(
         sim_stats,
         houdini_stats,
         degradations,
+    })
+}
+
+/// The canonical, content-addressed description of an environment — the
+/// constraint half of the proof-cache key. Two (env, extras) pairs that
+/// compile to the same recognizer over the same nets canonicalize
+/// identically regardless of subset names or list orderings.
+pub fn canonical_env(env: &Environment<'_>, extras: &[ExtraRestriction]) -> CanonicalEnv {
+    let cextras: Vec<CanonicalExtra> = extras
+        .iter()
+        .map(|e| match e {
+            ExtraRestriction::CodeAt {
+                addr,
+                data,
+                address,
+                word,
+            } => CanonicalExtra::CodeAt {
+                addr: addr.iter().map(|n| n.0).collect(),
+                data: data.iter().map(|n| n.0).collect(),
+                address: *address,
+                word: *word,
+            },
+            ExtraRestriction::PinnedInput { nets, value } => CanonicalExtra::PinnedInput {
+                nets: nets.iter().map(|n| n.0).collect(),
+                value: *value,
+            },
+        })
+        .collect();
+    let net_groups =
+        |groups: &[Vec<NetId>]| groups.iter().map(|p| p.iter().map(|n| n.0).collect()).collect();
+    match env {
+        Environment::Unconstrained => {
+            CanonicalEnv::canonicalize(EnvMode::Unconstrained, Vec::new(), Vec::new(), cextras)
+        }
+        Environment::Rv {
+            subset,
+            ports,
+            mode,
+        } => CanonicalEnv::canonicalize(
+            match mode {
+                ConstraintMode::PortBased => EnvMode::RvPort,
+                ConstraintMode::CutpointBased => EnvMode::RvCut,
+            },
+            net_groups(ports),
+            rv_canonical_forms(subset),
+            cextras,
+        ),
+        Environment::Thumb { subset, port, mode } => CanonicalEnv::canonicalize(
+            match mode {
+                ConstraintMode::PortBased => EnvMode::ThumbPort,
+                ConstraintMode::CutpointBased => EnvMode::ThumbCut,
+            },
+            net_groups(std::slice::from_ref(port)),
+            thumb_canonical_forms(subset),
+            cextras,
+        ),
+    }
+}
+
+/// How the proof cache answered one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheEffect {
+    /// Identical (netlist, environment): nothing was solved at all.
+    ExactHit,
+    /// A superset environment's proved set warm-started the solve.
+    LatticeHit {
+        /// Number of warm-start invariants injected.
+        warm: usize,
+    },
+    /// Solved cold.
+    Miss,
+}
+
+/// Outcome of one cached subset evaluation.
+#[derive(Debug)]
+pub struct SubsetReport {
+    /// Content fingerprint of the input netlist.
+    pub netlist_fingerprint: u64,
+    /// Fingerprint of the canonicalized environment.
+    pub env_fingerprint: u64,
+    /// How the cache participated.
+    pub cache: CacheEffect,
+    /// Canonical ids of every proved invariant, sorted — bit-identical
+    /// between cold, warm-started, and exact-hit answers for the same
+    /// request (lattice-monotone warm starts preserve the fixpoint).
+    pub proved: Vec<CandidateId>,
+    /// Resynthesis and stage-count summary.
+    pub summary: CachedSummary,
+    /// Wall time spent in falsification + proof for this request
+    /// (zero for exact hits).
+    pub prove_time: Duration,
+    /// The full pipeline result when something was actually solved
+    /// (`None` for exact hits — the cache answers without a netlist).
+    pub result: Option<PdatResult>,
+}
+
+/// [`run_pdat_with`] through the proof cache: exact hits skip the whole
+/// pipeline, lattice hits (a cached superset environment) warm-start the
+/// prover, misses solve cold — and every complete (undegraded) solve is
+/// inserted for future reuse.
+///
+/// # Errors
+///
+/// Returns [`PdatError`] if the input netlist is structurally invalid or
+/// a constraint net is not a free analysis variable.
+pub fn run_pdat_cached(
+    netlist: &Netlist,
+    env: &Environment<'_>,
+    extras: &[ExtraRestriction],
+    config: &PdatConfig,
+    cache: &ProofCache,
+) -> Result<SubsetReport, PdatError> {
+    let governor = Governor::new(&GovernorConfig {
+        deadline: config.deadline,
+        conflict_budget: config.global_conflict_budget,
+        cycle_budget: config.global_cycle_budget,
+        fault_plan: config.fault_plan.clone(),
+    });
+    run_pdat_cached_governed(netlist, env, extras, config, &governor, cache)
+}
+
+/// [`run_pdat_cached`] against a caller-supplied [`Governor`] (see
+/// [`run_pdat_governed`] for governor semantics).
+///
+/// # Errors
+///
+/// Returns [`PdatError`] if the input netlist is structurally invalid or
+/// a constraint net is not a free analysis variable.
+pub fn run_pdat_cached_governed(
+    netlist: &Netlist,
+    env: &Environment<'_>,
+    extras: &[ExtraRestriction],
+    config: &PdatConfig,
+    governor: &Governor,
+    cache: &ProofCache,
+) -> Result<SubsetReport, PdatError> {
+    netlist.validate()?;
+    let nfp = netlist_fingerprint(netlist);
+    let cenv = canonical_env(env, extras);
+    solve_cached(
+        netlist,
+        &mut None,
+        nfp,
+        &cenv,
+        env,
+        extras,
+        config,
+        governor,
+        cache,
+        &mut None,
+    )
+}
+
+/// One request of a batched multi-subset run.
+pub struct BatchRequest<'a> {
+    /// The environment restriction to evaluate.
+    pub env: Environment<'a>,
+    /// Additional restrictions conjoined into the environment.
+    pub extras: Vec<ExtraRestriction>,
+}
+
+/// Evaluate many environment restrictions of one netlist through the
+/// proof cache, amortizing everything request-independent.
+///
+/// * The baseline resynthesis and the uncut analysis AIG + candidate
+///   list are built at most once for the whole batch (cutpoint-based
+///   requests still build their own cut AIG — the cut changes it).
+/// * Requests are *processed* in ascending lattice depth (most
+///   permissive first, deterministic tie-break on fingerprint), so a
+///   chain `E ⊇ E' ⊇ E''` resolves ancestors first and every descendant
+///   warm-starts from the closest cached superset; duplicates collapse
+///   to exact hits.
+/// * One shared governor spans the batch: its budgets are drained in
+///   that same deterministic order.
+///
+/// Reports are returned in the *original request order*.
+///
+/// # Errors
+///
+/// Returns [`PdatError`] on the first structurally invalid request; the
+/// cache keeps entries inserted before the failure.
+pub fn run_pdat_batch(
+    netlist: &Netlist,
+    requests: &[BatchRequest<'_>],
+    config: &PdatConfig,
+    cache: &ProofCache,
+) -> Result<Vec<SubsetReport>, PdatError> {
+    let governor = Governor::new(&GovernorConfig {
+        deadline: config.deadline,
+        conflict_budget: config.global_conflict_budget,
+        cycle_budget: config.global_cycle_budget,
+        fault_plan: config.fault_plan.clone(),
+    });
+    run_pdat_batch_governed(netlist, requests, config, &governor, cache)
+}
+
+/// [`run_pdat_batch`] against a caller-supplied shared [`Governor`].
+///
+/// # Errors
+///
+/// Returns [`PdatError`] if the netlist is structurally invalid or any
+/// request names a constraint net that is not a free analysis variable.
+pub fn run_pdat_batch_governed(
+    netlist: &Netlist,
+    requests: &[BatchRequest<'_>],
+    config: &PdatConfig,
+    governor: &Governor,
+    cache: &ProofCache,
+) -> Result<Vec<SubsetReport>, PdatError> {
+    netlist.validate()?;
+    let nfp = netlist_fingerprint(netlist);
+    let cenvs: Vec<CanonicalEnv> = requests
+        .iter()
+        .map(|r| canonical_env(&r.env, &r.extras))
+        .collect();
+    let mut order: Vec<usize> = (0..requests.len()).collect();
+    order.sort_by_key(|&i| (cenvs[i].depth(), cenvs[i].fingerprint(), i));
+
+    let mut baseline: Option<NetlistStats> = None;
+    let mut uncut_model: Option<(NetlistAig, Vec<Candidate>)> = None;
+    let mut out: Vec<Option<SubsetReport>> = (0..requests.len()).map(|_| None).collect();
+    for &i in &order {
+        let report = solve_cached(
+            netlist,
+            &mut baseline,
+            nfp,
+            &cenvs[i],
+            &requests[i].env,
+            &requests[i].extras,
+            config,
+            governor,
+            cache,
+            &mut uncut_model,
+        )?;
+        out[i] = Some(report);
+    }
+    Ok(out.into_iter().flatten().collect())
+}
+
+/// Shared cached-solve core: consult the cache, solve (warm or cold) on
+/// anything short of an exact hit, and insert complete solves back.
+/// `baseline` and `uncut_model` are fill-on-demand memos so batch
+/// callers pay for them at most once (and all-exact-hit batches never
+/// pay at all).
+#[allow(clippy::too_many_arguments)]
+fn solve_cached(
+    netlist: &Netlist,
+    baseline: &mut Option<NetlistStats>,
+    nfp: u64,
+    cenv: &CanonicalEnv,
+    env: &Environment<'_>,
+    extras: &[ExtraRestriction],
+    config: &PdatConfig,
+    governor: &Governor,
+    cache: &ProofCache,
+    uncut_model: &mut Option<(NetlistAig, Vec<Candidate>)>,
+) -> Result<SubsetReport, PdatError> {
+    let env_fp = cenv.fingerprint();
+    let (warm, effect) = match cache.lookup(nfp, cenv) {
+        CacheLookup::Exact(run) => {
+            return Ok(SubsetReport {
+                netlist_fingerprint: nfp,
+                env_fingerprint: env_fp,
+                cache: CacheEffect::ExactHit,
+                proved: run.proved.clone(),
+                summary: run.summary.clone(),
+                prove_time: Duration::ZERO,
+                result: None,
+            });
+        }
+        CacheLookup::Lattice(run) => {
+            let warm = run.proved.clone();
+            let n = warm.len();
+            (warm, CacheEffect::LatticeHit { warm: n })
+        }
+        CacheLookup::Miss => (Vec::new(), CacheEffect::Miss),
+    };
+
+    let baseline = baseline
+        .get_or_insert_with(|| baseline_stats(netlist))
+        .clone();
+    let (na, candidates) = if cenv.mode.uncut() {
+        let (na, cands) = uncut_model.get_or_insert_with(|| {
+            let na = netlist_to_aig(netlist, &[]);
+            let cands = candidates_for_netlist(netlist, &na);
+            (na, cands)
+        });
+        (na.clone(), cands.clone())
+    } else {
+        let na = netlist_to_aig(netlist, &cut_nets_for(env));
+        let cands = candidates_for_netlist(netlist, &na);
+        (na, cands)
+    };
+
+    let res = run_prepared(
+        netlist, baseline, na, candidates, env, extras, &warm, config, governor,
+    )?;
+    let mut proved: Vec<CandidateId> = res
+        .proved_invariants
+        .iter()
+        .map(|c| c.canonical_id())
+        .collect();
+    proved.sort_unstable();
+    let summary = CachedSummary {
+        candidates: res.candidates,
+        sim_survivors: res.sim_survivors,
+        baseline: res.baseline.clone(),
+        optimized: res.optimized.clone(),
+    };
+    // Only complete runs are cacheable: a degraded (budget/deadline/
+    // fault-cut) proved set is sound but smaller than the true fixpoint,
+    // and caching it would silently downgrade later exact hits.
+    if res.degradations.is_empty() {
+        cache.insert(
+            nfp,
+            CachedRun {
+                env: cenv.clone(),
+                proved: proved.clone(),
+                summary: summary.clone(),
+            },
+        );
+    }
+    let prove_time = res.stage_times.0 + res.stage_times.1;
+    Ok(SubsetReport {
+        netlist_fingerprint: nfp,
+        env_fingerprint: env_fp,
+        cache: effect,
+        proved,
+        summary,
+        prove_time,
+        result: Some(res),
     })
 }
 
@@ -596,6 +993,107 @@ mod tests {
         // removes everything PDAT can — the PDAT result must never be
         // *worse* than the baseline.
         assert!(res.optimized.gate_count <= res.baseline.gate_count);
+    }
+
+    /// The key-locked toy from `unconstrained_run_is_sound_on_sequential_keys`.
+    fn locked_core() -> (Netlist, NetId) {
+        let mut nl = Netlist::new("locked");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let fb = nl.add_net("fb");
+        let key = nl.add_dff(fb, true, "key");
+        nl.assign_alias(fb, key);
+        let t = nl.add_cell(CellKind::And2, &[a, b], "t");
+        let decoy = nl.add_cell(CellKind::Xor2, &[a, b], "decoy");
+        let out = nl.add_cell(CellKind::Mux2, &[decoy, t, key], "out");
+        nl.add_output("y", out);
+        (nl, a)
+    }
+
+    #[test]
+    fn cached_runs_hit_exact_and_lattice() {
+        let (nl, a) = locked_core();
+        let cache = ProofCache::new();
+        let cfg = PdatConfig::default();
+
+        let r1 = run_pdat_cached(&nl, &Environment::Unconstrained, &[], &cfg, &cache)
+            .expect("valid netlist");
+        assert_eq!(r1.cache, CacheEffect::Miss, "first solve is cold");
+        assert!(!r1.proved.is_empty());
+
+        let r2 = run_pdat_cached(&nl, &Environment::Unconstrained, &[], &cfg, &cache)
+            .expect("valid netlist");
+        assert_eq!(r2.cache, CacheEffect::ExactHit);
+        assert!(r2.result.is_none(), "exact hit solves nothing");
+        assert_eq!(r2.prove_time, Duration::ZERO);
+        assert_eq!(r1.proved, r2.proved, "identical answer from cache");
+        assert_eq!(r1.summary, r2.summary);
+
+        // A descendant environment (extra restriction) warm-starts from
+        // the unconstrained ancestor...
+        let extras = vec![ExtraRestriction::PinnedInput {
+            nets: vec![a],
+            value: 0,
+        }];
+        let r3 = run_pdat_cached(&nl, &Environment::Unconstrained, &extras, &cfg, &cache)
+            .expect("valid netlist");
+        assert_eq!(
+            r3.cache,
+            CacheEffect::LatticeHit {
+                warm: r1.proved.len()
+            }
+        );
+        for id in &r1.proved {
+            assert!(r3.proved.contains(id), "monotone: ancestor proofs kept");
+        }
+        // ...and the warm-started answer is bit-identical to a cold one.
+        let cold_cache = ProofCache::new();
+        let cold = run_pdat_cached(&nl, &Environment::Unconstrained, &extras, &cfg, &cold_cache)
+            .expect("valid netlist");
+        assert_eq!(cold.cache, CacheEffect::Miss);
+        assert_eq!(cold.proved, r3.proved, "warm == cold proved set");
+        assert_eq!(cold.summary.optimized, r3.summary.optimized);
+    }
+
+    #[test]
+    fn batch_resolves_ancestors_first_and_replies_in_request_order() {
+        let (nl, a) = locked_core();
+        let cache = ProofCache::new();
+        let cfg = PdatConfig::default();
+        // Deliberately out of lattice order: the descendant first, then
+        // the (duplicated) unconstrained ancestor.
+        let requests = vec![
+            BatchRequest {
+                env: Environment::Unconstrained,
+                extras: vec![ExtraRestriction::PinnedInput {
+                    nets: vec![a],
+                    value: 0,
+                }],
+            },
+            BatchRequest {
+                env: Environment::Unconstrained,
+                extras: vec![],
+            },
+            BatchRequest {
+                env: Environment::Unconstrained,
+                extras: vec![],
+            },
+        ];
+        let reports = run_pdat_batch(&nl, &requests, &cfg, &cache).expect("valid requests");
+        assert_eq!(reports.len(), 3);
+        // The ancestor solved cold (once), its duplicate was an exact
+        // hit, and the descendant warm-started — despite arriving first.
+        assert_eq!(reports[1].cache, CacheEffect::Miss);
+        assert_eq!(reports[2].cache, CacheEffect::ExactHit);
+        assert_eq!(
+            reports[0].cache,
+            CacheEffect::LatticeHit {
+                warm: reports[1].proved.len()
+            }
+        );
+        assert_eq!(reports[1].proved, reports[2].proved);
+        let s = cache.stats();
+        assert_eq!((s.exact_hits, s.lattice_hits, s.misses), (1, 1, 1));
     }
 
     #[test]

@@ -21,12 +21,60 @@ pub enum CandidateKind {
 }
 
 /// One candidate invariant, bound to a gate output net.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Candidate {
     /// The gate-output net the property is asserted on.
     pub net: NetId,
     /// The asserted invariant.
     pub kind: CandidateKind,
+}
+
+/// Canonical, content-addressed identity of a candidate.
+///
+/// Two runs over structurally identical netlists generate candidates with
+/// identical ids (candidate generation is deterministic in netlist
+/// content), so a proved invariant cached from one run can be mapped onto
+/// the selector space of a later run by id — the proof cache's warm-start
+/// path depends on exactly this. The id is self-contained: it can be
+/// turned back into the [`Candidate`] it names without the original run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CandidateId {
+    /// Net index of the asserted net.
+    pub net: u32,
+    /// Kind tag: 0 = const-0, 1 = const-1, 2 = net equality.
+    pub tag: u8,
+    /// Equality source net index (0 for constants).
+    pub other: u32,
+}
+
+impl CandidateId {
+    /// Reconstruct the candidate this id names.
+    pub fn candidate(self) -> Candidate {
+        Candidate {
+            net: NetId(self.net),
+            kind: match self.tag {
+                0 => CandidateKind::ConstFalse,
+                1 => CandidateKind::ConstTrue,
+                _ => CandidateKind::EqualNet(NetId(self.other)),
+            },
+        }
+    }
+}
+
+impl Candidate {
+    /// The canonical identity of this candidate (see [`CandidateId`]).
+    pub fn canonical_id(self) -> CandidateId {
+        let (tag, other) = match self.kind {
+            CandidateKind::ConstFalse => (0, 0),
+            CandidateKind::ConstTrue => (1, 0),
+            CandidateKind::EqualNet(o) => (2, o.0),
+        };
+        CandidateId {
+            net: self.net.0,
+            tag,
+            other,
+        }
+    }
 }
 
 /// Generate the full candidate set for a netlist.

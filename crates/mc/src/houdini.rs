@@ -43,10 +43,11 @@
 //! solver fault trips on the shared counter, so faulted runs force
 //! sequential shard execution to stay reproducible.
 
-use crate::candidates::{Candidate, CandidateKind};
+use crate::candidates::{Candidate, CandidateId, CandidateKind};
 use pdat_aig::{Aig, AigLit, Frame, FrameEncoder, NetlistAig};
 use pdat_governor::{Cause, DegradationEvent, Governor, Stage};
 use pdat_sat::{Lit, SolveResult, Solver};
+use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
@@ -142,6 +143,11 @@ pub struct HoudiniStats {
     pub dropped_candidates: Vec<usize>,
     /// SAT conflicts consumed (sum over shards).
     pub conflicts: u64,
+    /// Warm-start invariants assumed as pre-proved hypotheses (matched by
+    /// canonical id against the candidate set). These count toward the
+    /// proved output but are never re-checked, never owned by a shard, and
+    /// never droppable.
+    pub warm_assumed: usize,
     /// Per-shard breakdown.
     pub shard_stats: Vec<ShardStats>,
 }
@@ -195,6 +201,10 @@ struct Shard {
     solves: usize,
     encode_seconds: f64,
     solve_seconds: f64,
+    /// SAT conflicts this shard spent in its most recent round — the
+    /// scheduler's cost signal for longest-first dispatch. `None` until
+    /// the shard has run once.
+    last_round_conflicts: Option<u64>,
     /// Set after a worker panic: the solver state is untrusted, the owned
     /// candidates are dropped, and the shard never runs again.
     dead: bool,
@@ -203,6 +213,17 @@ struct Shard {
 impl Shard {
     fn alive_count(&self) -> usize {
         self.own_alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Estimated cost of this shard's next round: conflicts spent in its
+    /// previous round, falling back to the owned candidate count before
+    /// the first round. Only relative order matters — the scheduler starts
+    /// expensive shards first so the long pole never runs last.
+    fn cost_estimate(&self) -> u64 {
+        match self.last_round_conflicts {
+            Some(c) => c,
+            None => self.own.len() as u64,
+        }
     }
 }
 
@@ -232,6 +253,45 @@ pub fn houdini_prove_governed(
     config: &HoudiniConfig,
     governor: &Governor,
 ) -> (Vec<Candidate>, HoudiniStats, Vec<DegradationEvent>) {
+    houdini_prove_warm_governed(aig, constraint, na, candidates, &[], config, governor)
+}
+
+/// [`houdini_prove_governed`] warm-started with invariants already proved
+/// under a *weaker* (superset) environment.
+///
+/// # Soundness (lattice monotonicity)
+///
+/// An invariant proved under environment constraint `C` holds on every
+/// execution allowed by any stronger constraint `C' ⊨ C` — the allowed
+/// executions only shrink. Moreover an inductive *set* stays inductive
+/// under `C'` (the consecution query only gains assumptions), so the warm
+/// set `W` may be assumed as permanent frame-0 hypotheses without ever
+/// being re-checked at frame 1. The caller is responsible for the lattice
+/// relation: every id in `warm` must name an invariant proved under an
+/// environment whose constraint is implied by `constraint`, on this same
+/// netlist.
+///
+/// # Exactness
+///
+/// On an unbudgeted run the result is bit-identical to the cold run:
+/// Houdini's fixpoint is the greatest inductive subset `G` of the
+/// candidate set, the union of inductive sets is inductive, and `W ⊆ G`
+/// (it is itself inductive under `C'`), so proving the greatest `D` with
+/// `W ∪ D` inductive yields exactly `G` again — only the SAT work for the
+/// warm slice is skipped. Budgeted runs may differ (budget cuts depend on
+/// where conflicts land) but remain sound: drops only shrink the result.
+///
+/// Warm ids that match no candidate in `candidates` (or resolve to no AIG
+/// literal) are ignored.
+pub fn houdini_prove_warm_governed(
+    aig: &Aig,
+    constraint: AigLit,
+    na: &NetlistAig,
+    candidates: &[Candidate],
+    warm: &[CandidateId],
+    config: &HoudiniConfig,
+    governor: &Governor,
+) -> (Vec<Candidate>, HoudiniStats, Vec<DegradationEvent>) {
     let mut stats = HoudiniStats::default();
     let mut events = Vec::new();
     if candidates.is_empty() {
@@ -255,30 +315,58 @@ pub fn houdini_prove_governed(
         return (Vec::new(), stats, events);
     }
 
-    // Nothing left globally before any encoding: drop everything with one
-    // aggregated event (the expensive shard encodings are skipped too).
+    // Split slots into the warm slice (pre-proved, assumed forever) and the
+    // active slice (everything the fixpoint still has to vet).
+    let warm_ids: HashSet<CandidateId> = warm.iter().copied().collect();
+    let is_warm: Vec<bool> = resolvable
+        .iter()
+        .map(|&ci| warm_ids.contains(&candidates[ci].canonical_id()))
+        .collect();
+    let active: Vec<usize> = (0..resolvable.len()).filter(|&s| !is_warm[s]).collect();
+    stats.warm_assumed = resolvable.len() - active.len();
+
+    let warm_proved = |alive: &[bool]| -> Vec<Candidate> {
+        (0..resolvable.len())
+            .filter(|&slot| alive[slot])
+            .map(|slot| candidates[resolvable[slot]])
+            .collect()
+    };
+
+    // Nothing left globally before any encoding: drop every *active*
+    // candidate with one aggregated event (the expensive shard encodings
+    // are skipped too). Warm invariants carry proofs from their original
+    // run, so exhaustion cannot un-prove them.
     if let Some(cause) = governor.exhausted() {
-        stats.dropped_by_budget = resolvable.len();
-        stats.dropped_candidates = resolvable.clone();
-        events.push(DegradationEvent {
-            stage: Stage::Prove,
-            cause,
-            dropped: resolvable.len(),
-            detail: "before the first prove round".to_string(),
-        });
-        return (Vec::new(), stats, events);
+        stats.dropped_by_budget = active.len();
+        stats.dropped_candidates = active.iter().map(|&s| resolvable[s]).collect();
+        if !active.is_empty() {
+            events.push(DegradationEvent {
+                stage: Stage::Prove,
+                cause,
+                dropped: active.len(),
+                detail: "before the first prove round".to_string(),
+            });
+        }
+        let alive: Vec<bool> = is_warm.clone();
+        return (warm_proved(&alive), stats, events);
+    }
+
+    // Everything already proved upstream: no shards, no solving.
+    if active.is_empty() {
+        let alive = vec![true; resolvable.len()];
+        return (warm_proved(&alive), stats, events);
     }
 
     let shard_size = if config.prove.shard_size == 0 {
-        resolvable.len()
+        active.len()
     } else {
         config.prove.shard_size
     };
-    let num_shards = resolvable.len().div_ceil(shard_size);
+    let num_shards = active.len().div_ceil(shard_size);
     let mut shards: Vec<Shard> = (0..num_shards)
         .map(|s| {
             let lo = s * shard_size;
-            let hi = ((s + 1) * shard_size).min(resolvable.len());
+            let hi = ((s + 1) * shard_size).min(active.len());
             build_shard(
                 s,
                 aig,
@@ -286,7 +374,7 @@ pub fn houdini_prove_governed(
                 na,
                 candidates,
                 &resolvable,
-                lo..hi,
+                &active[lo..hi],
                 governor,
                 config.prove.clause_db_limit,
             )
@@ -363,9 +451,13 @@ pub fn houdini_prove_governed(
             "apportioned shard allowances exceed the global remaining budget"
         );
 
-        // Run the dirty shards; distribute round-robin over worker threads
-        // and merge outcomes in shard order so the result is identical for
-        // any thread count.
+        // Run the dirty shards. Allowances were already apportioned in
+        // shard-index order and outcomes are merged in shard-index order,
+        // so the *dispatch* order below is free to chase wall clock: sort
+        // dirty shards by descending estimated cost (previous-round
+        // conflicts, falling back to candidate count) and assign each to
+        // the least-loaded worker (LPT), so the long-pole shard starts
+        // first instead of last. Results are identical for any order.
         let mut work: Vec<(usize, &mut Shard, Option<u64>)> = shards
             .iter_mut()
             .enumerate()
@@ -375,6 +467,9 @@ pub fn houdini_prove_governed(
             .collect();
         let nthreads = threads.min(work.len()).max(1);
         let mut outcomes: Vec<(usize, RoundOutcome)> = if nthreads == 1 {
+            // Sequential (including forced-sequential fault runs): keep
+            // shard-index order so injected fault trip points on the shared
+            // conflict counter stay where previous releases put them.
             work.drain(..)
                 .map(|(s, shard, alw)| {
                     let out = run_shard_round(shard, &alive, alw, config, governor);
@@ -382,10 +477,24 @@ pub fn houdini_prove_governed(
                 })
                 .collect()
         } else {
+            work.sort_by(|a, b| {
+                b.1.cost_estimate()
+                    .cmp(&a.1.cost_estimate())
+                    .then(a.0.cmp(&b.0))
+            });
             let mut buckets: Vec<Vec<(usize, &mut Shard, Option<u64>)>> =
                 (0..nthreads).map(|_| Vec::new()).collect();
-            for (k, item) in work.into_iter().enumerate() {
-                buckets[k % nthreads].push(item);
+            let mut loads = vec![0u64; nthreads];
+            for item in work {
+                let cost = item.1.cost_estimate();
+                let t = loads
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(i, &l)| (l, i))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                loads[t] = loads[t].saturating_add(cost.max(1));
+                buckets[t].push(item);
             }
             let alive_ref = &alive;
             std::thread::scope(|scope| {
@@ -474,7 +583,7 @@ fn build_shard(
     na: &NetlistAig,
     candidates: &[Candidate],
     resolvable: &[usize],
-    own_range: std::ops::Range<usize>,
+    own_slots: &[usize],
     governor: &Governor,
     clause_db_limit: usize,
 ) -> Shard {
@@ -514,7 +623,7 @@ fn build_shard(
         .collect();
 
     // Frame-1 failure detectors for the owned slice.
-    let own: Vec<usize> = own_range.collect();
+    let own: Vec<usize> = own_slots.to_vec();
     let mut fail = Vec::with_capacity(own.len());
     let mut ind1 = Vec::with_capacity(own.len());
     for &slot in &own {
@@ -557,6 +666,7 @@ fn build_shard(
         solves: 0,
         encode_seconds: t0.elapsed().as_secs_f64(),
         solve_seconds: 0.0,
+        last_round_conflicts: None,
         dead: false,
     }
 }
@@ -595,11 +705,16 @@ fn run_shard_round(
     config: &HoudiniConfig,
     governor: &Governor,
 ) -> RoundOutcome {
+    let conflicts_before = shard.solver.num_conflicts();
     let result = catch_unwind(AssertUnwindSafe(|| {
         run_shard_round_inner(shard, alive_snapshot, allowance, config, governor)
     }));
     match result {
-        Ok(out) => out,
+        Ok(out) => {
+            shard.last_round_conflicts =
+                Some(shard.solver.num_conflicts().saturating_sub(conflicts_before));
+            out
+        }
         Err(payload) => {
             // Isolate the panic: poison the shard and drop its unvetted
             // candidates — degraded, never corrupted.
@@ -1216,6 +1331,118 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn warm_start_matches_cold_fixpoint() {
+        // Buffer chain with mixed true/false candidates: warm-starting with
+        // any subset of the cold proved set must reproduce the cold proved
+        // set exactly (same members, same order), with fewer checks.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y0 = nl.add_cell(CellKind::Buf, &[a], "y0");
+        let y1 = nl.add_cell(CellKind::Buf, &[y0], "y1");
+        let y2 = nl.add_cell(CellKind::Buf, &[y1], "y2");
+        nl.add_output("y", y2);
+        let na = netlist_to_aig(&nl, &[]);
+        let cands = candidates_for_netlist(&nl, &na);
+        let (cold, _) =
+            houdini_prove(&na.aig, AigLit::TRUE, &na, &cands, &HoudiniConfig::default());
+        assert!(!cold.is_empty());
+        // Warm sets of increasing size, including the full cold set.
+        for take in [1, cold.len() / 2, cold.len()] {
+            let warm: Vec<CandidateId> = cold[..take].iter().map(|c| c.canonical_id()).collect();
+            let (hot, stats, events) = houdini_prove_warm_governed(
+                &na.aig,
+                AigLit::TRUE,
+                &na,
+                &cands,
+                &warm,
+                &HoudiniConfig::default(),
+                &Governor::unlimited(),
+            );
+            assert!(events.is_empty());
+            assert_eq!(cold, hot, "warm start (|W|={take}) changed the fixpoint");
+            assert_eq!(stats.warm_assumed, take);
+        }
+    }
+
+    #[test]
+    fn warm_start_carries_mutual_induction_partner() {
+        // q1/q2 coupled pair: warm-starting with q2's proof lets the run
+        // prove q1 without ever owning q2 in a shard.
+        let mut nl = Netlist::new("t");
+        let fb1 = nl.add_net("fb1");
+        let fb2 = nl.add_net("fb2");
+        let q1 = nl.add_dff(fb2, false, "q1");
+        let q2 = nl.add_dff(fb1, false, "q2");
+        nl.assign_alias(fb1, q1);
+        nl.assign_alias(fb2, q2);
+        nl.add_output("q1", q1);
+        let na = netlist_to_aig(&nl, &[]);
+        let cands = vec![
+            Candidate {
+                net: q1,
+                kind: CandidateKind::ConstFalse,
+            },
+            Candidate {
+                net: q2,
+                kind: CandidateKind::ConstFalse,
+            },
+        ];
+        let warm = vec![cands[1].canonical_id()];
+        let (proved, stats, _) = houdini_prove_warm_governed(
+            &na.aig,
+            AigLit::TRUE,
+            &na,
+            &cands,
+            &warm,
+            &HoudiniConfig::default(),
+            &Governor::unlimited(),
+        );
+        assert_eq!(proved, cands, "warm partner completes the coupled proof");
+        assert_eq!(stats.warm_assumed, 1);
+        // Only q1 was sharded.
+        assert_eq!(stats.shard_stats.iter().map(|s| s.candidates).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn exhausted_governor_keeps_warm_invariants() {
+        use pdat_governor::GovernorConfig;
+        // A zero conflict budget drops all active candidates but must not
+        // un-prove the warm set: those proofs were paid for elsewhere.
+        let mut nl = Netlist::new("t");
+        let fb = nl.add_net("fb");
+        let q = nl.add_dff(fb, false, "q");
+        nl.assign_alias(fb, q);
+        let a = nl.add_input("a");
+        let y = nl.add_cell(CellKind::And2, &[a, q], "y");
+        nl.add_output("y", y);
+        let na = netlist_to_aig(&nl, &[]);
+        let cands = candidates_for_netlist(&nl, &na);
+        let warm: Vec<CandidateId> = cands
+            .iter()
+            .filter(|c| c.net == q && c.kind == CandidateKind::ConstFalse)
+            .map(|c| c.canonical_id())
+            .collect();
+        assert_eq!(warm.len(), 1);
+        let g = Governor::new(&GovernorConfig {
+            conflict_budget: Some(0),
+            ..Default::default()
+        });
+        let (proved, stats, events) = houdini_prove_warm_governed(
+            &na.aig,
+            AigLit::TRUE,
+            &na,
+            &cands,
+            &warm,
+            &HoudiniConfig::default(),
+            &g,
+        );
+        assert_eq!(proved.len(), 1, "warm invariant survives exhaustion");
+        assert_eq!(proved[0].canonical_id(), warm[0]);
+        assert_eq!(stats.warm_assumed, 1);
+        assert!(events.iter().all(|e| e.dropped < cands.len()));
     }
 
     #[test]

@@ -25,9 +25,10 @@ mod candidates;
 mod houdini;
 mod sim_filter;
 
-pub use candidates::{candidates_for_netlist, Candidate, CandidateKind};
+pub use candidates::{candidates_for_netlist, Candidate, CandidateId, CandidateKind};
 pub use houdini::{
-    houdini_prove, houdini_prove_governed, HoudiniConfig, HoudiniStats, ProveConfig, ShardStats,
+    houdini_prove, houdini_prove_governed, houdini_prove_warm_governed, HoudiniConfig,
+    HoudiniStats, ProveConfig, ShardStats,
 };
 pub use sim_filter::{
     simulate_filter, simulate_filter_governed, simulate_filter_reference,

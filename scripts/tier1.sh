@@ -26,3 +26,8 @@ cargo test -q --workspace
 # shard) on the keyed design must reproduce the golden proved list with
 # no degradation events.
 ./target/release/prove_smoke
+
+# Proof-cache gate: miss, exact-hit, lattice-hit (warm-started Houdini),
+# and the save/load round-trip on a small instruction-port design —
+# every cached answer must be bit-identical to a cold run.
+./target/release/cache_smoke

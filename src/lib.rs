@@ -6,11 +6,15 @@
 //! system inventory.
 
 pub use pdat::{
-    run_pdat, run_pdat_governed, run_pdat_with, rv_constraint, thumb_constraint, Candidate,
-    CandidateKind, Cause, ConstraintMode, DegradationEvent, Environment, ExtraRestriction,
-    FaultPlan, Governor, GovernorConfig, InstrConstraint, PdatConfig, PdatError, PdatResult,
-    ProveConfig, Stage,
+    canonical_env, load_cache, netlist_fingerprint, run_pdat, run_pdat_batch,
+    run_pdat_batch_governed, run_pdat_cached, run_pdat_cached_governed, run_pdat_governed,
+    run_pdat_with, rv_canonical_forms, rv_constraint, save_cache, thumb_canonical_forms,
+    thumb_constraint, BatchRequest, CacheEffect, Candidate, CandidateId, CandidateKind,
+    CanonicalEnv, CanonicalForm, Cause, ConstraintMode, DegradationEvent, Environment, EnvMode,
+    ExtraRestriction, FaultPlan, Governor, GovernorConfig, InstrConstraint, PdatConfig, PdatError,
+    PdatResult, ProofCache, ProveConfig, Stage, SubsetReport,
 };
+pub use pdat_cache as cache;
 pub use pdat_governor as governor;
 pub use pdat_aig as aig;
 pub use pdat_cores as cores;
