@@ -30,7 +30,7 @@ mod from_netlist;
 mod sim;
 
 pub use aig::{Aig, AigLit, AigNode, AigNodeId};
-pub use cnf::{Frame, FrameEncoder};
+pub use cnf::{ConeEncoder, Frame, FrameEncoder};
 pub use from_netlist::{netlist_to_aig, NetlistAig};
 pub use sim::{AigSimulator, AigSimulatorWide, SIM_WIDTH};
 

@@ -15,16 +15,14 @@
 //!
 //! `--smoke` runs a reduced cycle count to validate the harness quickly.
 
-use pdat::rv_constraint;
-use pdat_aig::{netlist_to_aig, Aig, AigLit, AigNode, AigNodeId, NetlistAig};
+use pdat_aig::{Aig, AigLit, AigNode, AigNodeId, NetlistAig};
+use pdat_bench::{ibex_rv32i_analysis, parse_bench_args};
 use pdat_mc::{
-    candidates_for_netlist, simulate_filter_reference, simulate_filter_with_stats, Candidate,
-    CandidateKind, SimFilterConfig, SimFilterStats,
+    simulate_filter_reference, simulate_filter_with_stats, Candidate, CandidateKind,
+    SimFilterConfig, SimFilterStats,
 };
-use pdat_cores::build_ibex;
-use pdat_isa::RvSubset;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::time::Instant;
 
 struct Measurement {
@@ -217,44 +215,17 @@ fn legacy_filter(
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(bad) = args.iter().find(|a| a.starts_with("--") && *a != "--smoke") {
-        eprintln!("usage: falsify_throughput [--smoke] [OUTPUT.json]");
-        eprintln!("unknown flag: {bad}");
-        std::process::exit(2);
-    }
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_PR1.json".to_string());
+    let args = parse_bench_args("falsify_throughput", "BENCH_PR1.json", &["--eval-only"]);
+    let (smoke, out_path) = (args.smoke, args.out_path.clone());
 
     let cycles = if smoke { 32 } else { 512 };
     let lane_blocks = 4;
     let seed = 0xB14C_u64;
 
     // Mirror the pipeline's cutpoint-based RV32I environment on Ibex.
-    let core = build_ibex();
-    let subset = RvSubset::rv32i();
-    let mut na = netlist_to_aig(&core.netlist, &core.cut_fetch);
-    let lits: Vec<AigLit> = core.cut_fetch.iter().map(|n| na.input_lit[n]).collect();
-    let index_of = |na: &pdat_aig::NetlistAig, l: &AigLit| {
-        na.aig
-            .inputs()
-            .iter()
-            .position(|&n| AigLit::of(n) == *l)
-            .expect("cutpoint is an analysis input")
-    };
-    let indices: Vec<usize> = lits.iter().map(|l| index_of(&na, l)).collect();
-    let (constraint, instr) = rv_constraint(&mut na.aig, &lits, indices, &subset);
-    let candidates = candidates_for_netlist(&core.netlist, &na);
-    let stimulus = move |rng: &mut StdRng, words: &mut [u64]| {
-        for w in words.iter_mut() {
-            *w = rng.gen();
-        }
-        instr.drive(rng, words);
-    };
+    let setup = ibex_rv32i_analysis();
+    let (na, constraint, candidates) = (&setup.na, setup.constraint, &setup.candidates);
+    let stimulus = setup.stimulus();
 
     println!(
         "ibex rv32i falsification: {} candidates, {} aig nodes ({} ands), {} cycles x {} lane blocks{}",
@@ -265,7 +236,7 @@ fn main() {
         lane_blocks,
         if smoke { " (smoke)" } else { "" }
     );
-    if args.iter().any(|a| a == "--eval-only") {
+    if args.has_flag("--eval-only") {
         use pdat_aig::AigSimulator;
         let t = Instant::now();
         let mut acc = 0u64;
@@ -329,18 +300,18 @@ fn main() {
     // speedup is measured against.
     runs.push(measure(
         "seed_style".into(),
-        &|c| legacy_filter(&na, constraint, &candidates, c, &stimulus, seed),
+        &|c| legacy_filter(na, constraint, candidates, c, &stimulus, seed),
         1,
     ));
     runs.push(measure(
         "reference".into(),
-        &|c| simulate_filter_reference(&na, constraint, &candidates, c, &stimulus, seed),
+        &|c| simulate_filter_reference(na, constraint, candidates, c, &stimulus, seed),
         1,
     ));
     for threads in [1usize, 2, 4] {
         runs.push(measure(
             format!("parallel_t{threads}"),
-            &|c| simulate_filter_with_stats(&na, constraint, &candidates, c, &stimulus, seed),
+            &|c| simulate_filter_with_stats(na, constraint, candidates, c, &stimulus, seed),
             threads,
         ));
     }

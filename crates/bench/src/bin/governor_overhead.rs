@@ -20,17 +20,11 @@
 //! as the first non-flag argument). `--smoke` reduces the cycle count
 //! for CI.
 
-use pdat::rv_constraint;
 use pdat::{Governor, GovernorConfig};
-use pdat_aig::{netlist_to_aig, AigLit};
-use pdat_cores::build_ibex;
-use pdat_isa::RvSubset;
+use pdat_bench::{ibex_rv32i_analysis, parse_bench_args, ProveTimeSplit};
 use pdat_mc::{
-    candidates_for_netlist, houdini_prove_governed, simulate_filter_governed, HoudiniConfig,
-    ProveConfig, SimFilterConfig,
+    houdini_prove_governed, simulate_filter_governed, HoudiniConfig, ProveConfig, SimFilterConfig,
 };
-use rand::rngs::StdRng;
-use rand::Rng;
 use std::time::{Duration, Instant};
 
 fn armed_governor() -> Governor {
@@ -43,45 +37,16 @@ fn armed_governor() -> Governor {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(bad) = args.iter().find(|a| a.starts_with("--") && *a != "--smoke") {
-        eprintln!("usage: governor_overhead [--smoke] [OUTPUT.json]");
-        eprintln!("unknown flag: {bad}");
-        std::process::exit(2);
-    }
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+    let args = parse_bench_args("governor_overhead", "BENCH_PR6.json", &[]);
+    let (smoke, out_path) = (args.smoke, args.out_path);
 
     let cycles = if smoke { 64 } else { 512 };
     let reps = if smoke { 1 } else { 5 };
     let seed = 0xB14C_u64;
 
-    let core = build_ibex();
-    let subset = RvSubset::rv32i();
-    let mut na = netlist_to_aig(&core.netlist, &core.cut_fetch);
-    let lits: Vec<AigLit> = core.cut_fetch.iter().map(|n| na.input_lit[n]).collect();
-    let indices: Vec<usize> = lits
-        .iter()
-        .map(|l| {
-            na.aig
-                .inputs()
-                .iter()
-                .position(|&n| AigLit::of(n) == *l)
-                .expect("cutpoint is an analysis input")
-        })
-        .collect();
-    let (constraint, instr) = rv_constraint(&mut na.aig, &lits, indices, &subset);
-    let candidates = candidates_for_netlist(&core.netlist, &na);
-    let stimulus = move |rng: &mut StdRng, words: &mut [u64]| {
-        for w in words.iter_mut() {
-            *w = rng.gen();
-        }
-        instr.drive(rng, words);
-    };
+    let setup = ibex_rv32i_analysis();
+    let (na, constraint, candidates) = (&setup.na, setup.constraint, &setup.candidates);
+    let stimulus = setup.stimulus();
     let sim_config = SimFilterConfig {
         cycles,
         lane_blocks: 4,
@@ -118,7 +83,7 @@ fn main() {
             };
             let t = Instant::now();
             let (survivors, _, events) = simulate_filter_governed(
-                &na, constraint, &candidates, &sim_config, &stimulus, seed, &gov,
+                na, constraint, candidates, &sim_config, &stimulus, seed, &gov,
             );
             let dt = t.elapsed().as_secs_f64();
             assert!(events.is_empty(), "an untripped governor must not degrade");
@@ -139,9 +104,9 @@ fn main() {
 
     // --- Proof stage ---
     let (survivors, _, _) = simulate_filter_governed(
-        &na,
+        na,
         constraint,
-        &candidates,
+        candidates,
         &sim_config,
         &stimulus,
         seed,
@@ -182,7 +147,7 @@ fn main() {
                 };
                 let t = Instant::now();
                 let (proved, stats, events) =
-                    houdini_prove_governed(&na.aig, constraint, &na, &survivors, &cfg, &gov);
+                    houdini_prove_governed(&na.aig, constraint, na, &survivors, &cfg, &gov);
                 let dt = t.elapsed().as_secs_f64();
                 assert!(events.is_empty(), "an untripped governor must not degrade");
                 match &golden {
@@ -209,6 +174,7 @@ fn main() {
                             // only the timings vary.
                             assert_eq!((acc.shard, acc.candidates), (ss.shard, ss.candidates));
                             acc.encode_seconds += ss.encode_seconds;
+                            acc.preprocess_seconds += ss.preprocess_seconds;
                             acc.solve_seconds += ss.solve_seconds;
                         }
                     }
@@ -217,12 +183,20 @@ fn main() {
         }
         for acc in &mut shard_acc {
             acc.encode_seconds /= f64::from(armed_reps);
+            acc.preprocess_seconds /= f64::from(armed_reps);
             acc.solve_seconds /= f64::from(armed_reps);
         }
-        let shard_busy: f64 = shard_acc
-            .iter()
-            .map(|s| s.encode_seconds + s.solve_seconds)
-            .sum();
+        // Top-level encode-vs-preprocess-vs-solve split over all shards.
+        let mut split = ProveTimeSplit::default();
+        for s in &shard_acc {
+            split.add(&ProveTimeSplit {
+                encode_seconds: s.encode_seconds,
+                preprocess_seconds: s.preprocess_seconds,
+                solve_seconds: s.solve_seconds,
+            });
+        }
+        let shard_busy: f64 =
+            split.encode_seconds + split.preprocess_seconds + split.solve_seconds;
         let armed_wall_mean = armed_wall_total / f64::from(armed_reps);
         // Sanity: a single worker thread cannot be busy inside shards for
         // longer than the whole stage ran (small epsilon for clock skew
@@ -256,8 +230,23 @@ fn main() {
             }
             shards_json.push_str(&format!(
                 "{{\"shard\": {}, \"candidates\": {}, \"proved\": {}, \"solves\": {}, \
-                 \"conflicts\": {}, \"encode_seconds\": {:.6}, \"solve_seconds\": {:.6}}}",
-                ss.shard, ss.candidates, ss.proved, ss.solves, ss.conflicts, ss.encode_seconds,
+                 \"conflicts\": {}, \"vars_pre\": {}, \"clauses_pre\": {}, \"vars_post\": {}, \
+                 \"clauses_post\": {}, \"cone_f0_ands\": {}, \"cone_f1_ands\": {}, \
+                 \"encode_seconds\": {:.6}, \"preprocess_seconds\": {:.6}, \
+                 \"solve_seconds\": {:.6}}}",
+                ss.shard,
+                ss.candidates,
+                ss.proved,
+                ss.solves,
+                ss.conflicts,
+                ss.vars_pre,
+                ss.clauses_pre,
+                ss.vars_post,
+                ss.clauses_post,
+                ss.cone_f0_ands,
+                ss.cone_f1_ands,
+                ss.encode_seconds,
+                ss.preprocess_seconds,
                 ss.solve_seconds
             ));
         }
@@ -268,9 +257,22 @@ fn main() {
             "{{\"threads\": {}, \"shard_size\": {}, \"unlimited_seconds\": {:.6}, \
              \"armed_seconds\": {:.6}, \"overhead_percent\": {:.3}, \"rounds\": {}, \
              \"solves\": {}, \"armed_reps\": {}, \"armed_wall_mean_seconds\": {:.6}, \
+             \"encode_seconds_total\": {:.6}, \"preprocess_seconds_total\": {:.6}, \
+             \"solve_seconds_total\": {:.6}, \
              \"shard_seconds_are_per_rep_means\": true, \"shards\": [{}]}}",
-            threads, shard_size, best[0], best[1], overhead, rounds, iterations, armed_reps,
-            armed_wall_mean, shards_json
+            threads,
+            shard_size,
+            best[0],
+            best[1],
+            overhead,
+            rounds,
+            iterations,
+            armed_reps,
+            armed_wall_mean,
+            split.encode_seconds,
+            split.preprocess_seconds,
+            split.solve_seconds,
+            shards_json
         ));
     }
     let proved_count = golden.as_ref().map_or(0, |g| g.len());

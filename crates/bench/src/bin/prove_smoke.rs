@@ -2,15 +2,18 @@
 //!
 //! Drives the full PDAT pipeline on the keyed-design fixture through the
 //! *governed, sharded* prover — 2 worker threads, one candidate per shard
-//! — and checks the result against a golden proved-invariant list. This
-//! pins three contracts at once:
+//! — and checks the result against a golden proved-invariant list, once
+//! per encoding path: the default cone-of-influence + CNF-preprocessing
+//! prover and the eager full-frame encoding. This pins four contracts at
+//! once:
 //!
 //! - the parallel prover is live and converges on a multi-shard fixpoint
 //!   (the key invariant needs mutual induction across shard boundaries);
 //! - an armed-but-untripped governor does not perturb the result (no
 //!   degradation events);
 //! - the proved list is exactly the golden set, in candidate order — any
-//!   unsound over-proving (or lost invariant) fails the gate.
+//!   unsound over-proving (or lost invariant) fails the gate;
+//! - the COI path proves the bit-identical set the full encoding proves.
 //!
 //! Exits nonzero on any violation.
 
@@ -35,8 +38,9 @@ fn keyed_design() -> Netlist {
     nl
 }
 
-fn main() {
-    let nl = keyed_design();
+/// Run one encoding path against the golden list; returns the number of
+/// failed checks.
+fn run_path(nl: &Netlist, label: &str, coi: bool, preprocess: bool) -> usize {
     let config = PdatConfig {
         sim_cycles: 64,
         conflict_budget: Some(40_000),
@@ -45,6 +49,8 @@ fn main() {
         prove: ProveConfig {
             threads: 2,
             shard_size: 1, // one candidate per shard: worst-case split
+            coi,
+            preprocess,
             ..Default::default()
         },
         ..Default::default()
@@ -56,20 +62,20 @@ fn main() {
         cycle_budget: Some(u64::MAX / 2),
         ..Default::default()
     });
-    let res = run_pdat_governed(&nl, &Environment::Unconstrained, &[], &config, &governor)
+    let res = run_pdat_governed(nl, &Environment::Unconstrained, &[], &config, &governor)
         .expect("prove smoke: pipeline run failed");
 
     let mut failures = 0usize;
     if !res.degradations.is_empty() {
         eprintln!(
-            "FAIL: untripped governor produced degradations: {:?}",
+            "FAIL[{label}]: untripped governor produced degradations: {:?}",
             res.degradations
         );
         failures += 1;
     }
     let shards = res.houdini_stats.shard_stats.len();
     if shards < 2 {
-        eprintln!("FAIL: expected a multi-shard prove, got {shards} shard(s)");
+        eprintln!("FAIL[{label}]: expected a multi-shard prove, got {shards} shard(s)");
         failures += 1;
     }
     let proved: Vec<(String, CandidateKind)> = res
@@ -85,18 +91,27 @@ fn main() {
         ("out".to_string(), CandidateKind::EqualNet(t)),
     ];
     if proved != golden {
-        eprintln!("FAIL: proved list diverged from golden");
+        eprintln!("FAIL[{label}]: proved list diverged from golden");
         eprintln!("  golden: {golden:?}");
         eprintln!("  proved: {proved:?}");
         failures += 1;
     }
     println!(
-        "prove smoke: {} invariant(s) proved across {} shards in {} rounds, {} solves",
+        "prove smoke [{label}]: {} invariant(s) proved across {} shards in {} rounds, {} solves",
         proved.len(),
         shards,
         res.houdini_stats.rounds,
         res.houdini_stats.iterations,
     );
+    failures
+}
+
+fn main() {
+    let nl = keyed_design();
+    // Both encoding paths must hit the same golden list: the default COI +
+    // preprocessing prover and the eager full-frame encoding it replaced.
+    let mut failures = run_path(&nl, "coi+preprocess", true, true);
+    failures += run_path(&nl, "full-encoding", false, false);
     if failures > 0 {
         eprintln!("prove smoke: {failures} check(s) failed");
         std::process::exit(1);

@@ -16,22 +16,29 @@
 //!
 //! Every request's proved invariant set must be bit-identical between
 //! the two passes — the cache is a pure accelerator. The acceptance
-//! target is a ≥5× reduction in aggregate prove time (falsify + prove
-//! stage wall, the post-PR6 bottleneck) on the warm pass. Results go
-//! to `BENCH_PR7.json` (or the path given as the first non-flag
-//! argument). `--smoke` shrinks the stream for a quick check and only
-//! warns on a missed target.
+//! targets are a ≥5× reduction in aggregate prove time on the warm
+//! pass, and (since the cone-of-influence shard encoding plus CNF
+//! preprocessing landed) a ≥2× reduction of the *cold* aggregate
+//! against the pre-COI baseline recorded in `BENCH_PR7.json`. The
+//! report breaks prove time into encode / preprocess / solve totals
+//! for both passes. Results go to `BENCH_PR8.json` (or the path given
+//! as the first non-flag argument). `--smoke` shrinks the stream for
+//! a quick check and only warns on a missed target.
 
 use pdat::{
-    run_pdat_batch, run_pdat_cached, BatchRequest, CacheEffect, ConstraintMode, Environment,
-    PdatConfig, ProofCache, ProveConfig, SubsetReport,
+    run_pdat_batch, run_pdat_cached, BatchRequest, CacheEffect, PdatConfig, ProofCache,
+    ProveConfig, SubsetReport,
 };
-use pdat_cores::build_ibex;
+use pdat_bench::{ibex_rv32i_analysis, parse_bench_args, ProveTimeSplit};
 use pdat_isa::rv32::RvInstr;
 use pdat_isa::RvSubset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
+
+/// Cold aggregate prove time of the pre-COI prover on this exact
+/// stream (BENCH_PR7.json), the baseline for the ≥2× cold target.
+const PR7_COLD_PROVE_SECONDS: f64 = 590.0934;
 
 /// Remove `n` random instruction forms, keeping at least 8.
 fn shrink(rng: &mut StdRng, base: &RvSubset, n: usize, name: &str) -> RvSubset {
@@ -105,19 +112,21 @@ fn check_complete(tag: &str, idx: usize, report: &SubsetReport) {
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(bad) = args.iter().find(|a| a.starts_with("--") && *a != "--smoke") {
-        eprintln!("usage: subset_sweep [--smoke] [OUTPUT.json]");
-        eprintln!("unknown flag: {bad}");
-        std::process::exit(2);
+/// Sum the shard-level encode/preprocess/solve timers over every report
+/// that actually ran the prover (cache hits carry no Houdini stats).
+fn split_of(reports: &[SubsetReport]) -> ProveTimeSplit {
+    let mut total = ProveTimeSplit::default();
+    for r in reports {
+        if let Some(res) = &r.result {
+            total.add(&ProveTimeSplit::of(&res.houdini_stats));
+        }
     }
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+    total
+}
+
+fn main() {
+    let args = parse_bench_args("subset_sweep", "BENCH_PR8.json", &[]);
+    let (smoke, out_path) = (args.smoke, args.out_path.clone());
 
     let chains = if smoke { 2 } else { 7 };
     let total_requests = if smoke { 10 } else { 120 };
@@ -125,7 +134,7 @@ fn main() {
     let subsets = make_chains(&mut rng, chains);
     let stream = request_stream(&mut rng, subsets.len(), total_requests);
 
-    let core = build_ibex();
+    let setup = ibex_rv32i_analysis();
     let config = PdatConfig {
         sim_cycles: 512,
         conflict_budget: Some(300_000),
@@ -150,13 +159,9 @@ fn main() {
     let mut cold: Vec<SubsetReport> = Vec::with_capacity(stream.len());
     let cold_wall = Instant::now();
     for (i, &s) in stream.iter().enumerate() {
-        let env = Environment::Rv {
-            subset: &subsets[s],
-            ports: vec![core.cut_fetch.clone()],
-            mode: ConstraintMode::CutpointBased,
-        };
+        let env = setup.env(&subsets[s]);
         let fresh = ProofCache::new();
-        let report = run_pdat_cached(&core.netlist, &env, &[], &config, &fresh)
+        let report = run_pdat_cached(&setup.core.netlist, &env, &[], &config, &fresh)
             .expect("cold run failed");
         assert!(
             matches!(report.cache, CacheEffect::Miss),
@@ -180,17 +185,13 @@ fn main() {
     let requests: Vec<BatchRequest> = stream
         .iter()
         .map(|&s| BatchRequest {
-            env: Environment::Rv {
-                subset: &subsets[s],
-                ports: vec![core.cut_fetch.clone()],
-                mode: ConstraintMode::CutpointBased,
-            },
+            env: setup.env(&subsets[s]),
             extras: Vec::new(),
         })
         .collect();
     let cache = ProofCache::new();
     let warm_wall = Instant::now();
-    let warm = run_pdat_batch(&core.netlist, &requests, &config, &cache)
+    let warm = run_pdat_batch(&setup.core.netlist, &requests, &config, &cache)
         .expect("warm batch failed");
     let warm_wall = warm_wall.elapsed().as_secs_f64();
 
@@ -223,6 +224,9 @@ fn main() {
     } else {
         f64::INFINITY
     };
+    let cold_split = split_of(&cold);
+    let warm_split = split_of(&warm);
+    let cold_vs_pr7 = PR7_COLD_PROVE_SECONDS / cold_prove.max(1e-9);
     let stats = cache.stats();
     println!(
         "  warm effects: {} exact, {} lattice, {} miss ({} cached runs)",
@@ -233,6 +237,15 @@ fn main() {
     );
     println!(
         "  prove time: cold {cold_prove:.2}s -> warm {warm_prove:.2}s  ({speedup:.1}x, target >= 5x)"
+    );
+    println!(
+        "  cold split: encode {:.2}s + preprocess {:.2}s + solve {:.2}s  \
+         ({cold_vs_pr7:.2}x vs the {PR7_COLD_PROVE_SECONDS:.1}s pre-COI cold baseline, target >= 2x)",
+        cold_split.encode_seconds, cold_split.preprocess_seconds, cold_split.solve_seconds
+    );
+    println!(
+        "  warm split: encode {:.2}s + preprocess {:.2}s + solve {:.2}s",
+        warm_split.encode_seconds, warm_split.preprocess_seconds, warm_split.solve_seconds
     );
     println!("  wall time:  cold {cold_wall:.2}s -> warm {warm_wall:.2}s");
 
@@ -289,6 +302,11 @@ fn main() {
          \"requests\": {},\n  \"distinct_subsets\": {},\n  \"chains\": {},\n  \
          \"cold_prove_seconds\": {:.4},\n  \"warm_prove_seconds\": {:.4},\n  \
          \"prove_speedup\": {:.2},\n  \"target_speedup\": 5.0,\n  \
+         \"cold_encode_seconds\": {:.4},\n  \"cold_preprocess_seconds\": {:.4},\n  \
+         \"cold_solve_seconds\": {:.4},\n  \"warm_encode_seconds\": {:.4},\n  \
+         \"warm_preprocess_seconds\": {:.4},\n  \"warm_solve_seconds\": {:.4},\n  \
+         \"pr7_cold_prove_seconds\": {:.4},\n  \"cold_speedup_vs_pr7\": {:.2},\n  \
+         \"cold_target_speedup_vs_pr7\": 2.0,\n  \
          \"cold_wall_seconds\": {:.4},\n  \"warm_wall_seconds\": {:.4},\n  \
          \"warm_exact_hits\": {},\n  \"warm_lattice_hits\": {},\n  \"warm_misses\": {},\n  \
          \"cache_insertions\": {},\n  \
@@ -301,6 +319,14 @@ fn main() {
         cold_prove,
         warm_prove,
         speedup,
+        cold_split.encode_seconds,
+        cold_split.preprocess_seconds,
+        cold_split.solve_seconds,
+        warm_split.encode_seconds,
+        warm_split.preprocess_seconds,
+        warm_split.solve_seconds,
+        PR7_COLD_PROVE_SECONDS,
+        cold_vs_pr7,
         cold_wall,
         warm_wall,
         effects[0],
@@ -315,13 +341,30 @@ fn main() {
     }
     println!("wrote {out_path}");
 
+    let mut failed = false;
     if speedup < 5.0 {
         if smoke {
             eprintln!("note: smoke stream too small for the 5x target ({speedup:.1}x)");
         } else {
             eprintln!("FAIL: warm sweep speedup {speedup:.1}x below the 5x target");
-            std::process::exit(1);
+            failed = true;
         }
+    }
+    if cold_vs_pr7 < 2.0 {
+        if smoke {
+            eprintln!(
+                "note: smoke stream not comparable to the pre-COI cold baseline ({cold_vs_pr7:.2}x)"
+            );
+        } else {
+            eprintln!(
+                "FAIL: cold prove time {cold_prove:.1}s is only {cold_vs_pr7:.2}x faster than \
+                 the {PR7_COLD_PROVE_SECONDS:.1}s pre-COI baseline (target >= 2x)"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
     println!("subset sweep: OK");
 }

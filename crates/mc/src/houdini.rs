@@ -16,6 +16,37 @@
 //! so propagation stays local (the old single activation clause over
 //! thousands of indicator literals caused quadratic watch-list scans).
 //!
+//! # Cone-of-influence encoding
+//!
+//! With [`ProveConfig::coi`] (the default) a shard does not encode the full
+//! two-frame transition relation. It Tseitin-encodes only the
+//! transitive-fanin cones it can ever query: the frame-1 cones of its *own*
+//! candidates' nets (through the latches back into frame 0), the
+//! environment-constraint cones on both frames, and — lazily, at the first
+//! base-assumption build that needs them — the frame-0 cones of the alive
+//! hypothesis candidates. A candidate dropped before a shard's first pass
+//! never gets its cone built. Shared AIG nodes are structurally hashed per
+//! frame, so overlapping cones pay once. The partial encoding is
+//! equisatisfiable with the full one for every query the shard issues (the
+//! omitted Tseitin definitions are functions of free inputs/state and can
+//! always be extended), and Houdini's fixpoint is unique, so the proved set
+//! is bit-identical to the full-encoding prover's — see
+//! `tests/parallel_determinism.rs`.
+//!
+//! # CNF preprocessing
+//!
+//! With [`ProveConfig::preprocess`] (the default) each shard runs
+//! [`pdat_sat::Solver::preprocess`] once, right after its first
+//! base-assumption build (so every lazily-requested hypothesis cone is
+//! already in the CNF): bounded variable elimination plus
+//! subsumption/self-subsuming resolution. Everything the prover touches
+//! from outside — hypothesis assumption literals, fail selectors, OR-tree
+//! selectors and root, frame-1 indicator literals it reads models from,
+//! and the frame-0 latch interface — is passed as *frozen* so assumptions,
+//! drop-via-`¬fail` units, and model reads keep working. Preprocessing is
+//! deterministic and its step count is charged to the governor's separate
+//! preprocessing meter, never to the pre-apportioned conflict allowances.
+//!
 //! # Cross-shard fixpoint
 //!
 //! A drop in one shard invalidates the hypothesis assumptions other shards
@@ -44,9 +75,9 @@
 //! sequential shard execution to stay reproducible.
 
 use crate::candidates::{Candidate, CandidateId, CandidateKind};
-use pdat_aig::{Aig, AigLit, Frame, FrameEncoder, NetlistAig};
+use pdat_aig::{Aig, AigLit, ConeEncoder, Frame, FrameEncoder, NetlistAig};
 use pdat_governor::{Cause, DegradationEvent, Governor, Stage};
-use pdat_sat::{Lit, SolveResult, Solver};
+use pdat_sat::{Lit, SolveResult, Solver, Var};
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
@@ -65,6 +96,14 @@ pub struct ProveConfig {
     /// Learnt-clause retention cap per shard solver (see
     /// [`pdat_sat::Solver::set_clause_db_limit`]).
     pub clause_db_limit: usize,
+    /// Encode only the cone of influence of each shard's queries instead of
+    /// the full two-frame transition relation (see the module docs). Never
+    /// affects the proved set; `false` restores the eager full encoding.
+    pub coi: bool,
+    /// Run deterministic CNF preprocessing (bounded variable elimination +
+    /// subsumption) on each shard's solver before its first query. Never
+    /// affects the proved set on unbudgeted runs.
+    pub preprocess: bool,
 }
 
 impl Default for ProveConfig {
@@ -73,6 +112,8 @@ impl Default for ProveConfig {
             threads: 4,
             shard_size: 0,
             clause_db_limit: 8192,
+            coi: true,
+            preprocess: true,
         }
     }
 }
@@ -117,10 +158,26 @@ pub struct ShardStats {
     pub vars: usize,
     /// Problem clauses in this shard's encoding.
     pub clauses: usize,
+    /// Variables before preprocessing (equals `vars` when preprocessing is
+    /// off or never ran).
+    pub vars_pre: usize,
+    /// Problem clauses before preprocessing.
+    pub clauses_pre: usize,
+    /// Live variables after preprocessing (allocated minus eliminated).
+    pub vars_post: usize,
+    /// Live problem clauses after preprocessing.
+    pub clauses_post: usize,
+    /// AND gates Tseitin-encoded in frame 0 (cone size under COI; the full
+    /// AIG AND count on the eager path).
+    pub cone_f0_ands: usize,
+    /// AND gates Tseitin-encoded in frame 1.
+    pub cone_f1_ands: usize,
     /// Wall-clock seconds spent building the shard's frame encoding.
     pub encode_seconds: f64,
     /// Wall-clock seconds spent inside SAT queries.
     pub solve_seconds: f64,
+    /// Wall-clock seconds spent in CNF preprocessing.
+    pub preprocess_seconds: f64,
 }
 
 /// Statistics from a [`houdini_prove`] run.
@@ -174,16 +231,33 @@ pub fn houdini_prove(
     (proved, stats)
 }
 
-/// One shard: a private solver holding the full two-frame encoding, with
-/// hypothesis literals for every candidate and failure detectors for the
-/// owned slice.
-struct Shard {
+/// One shard: a private solver holding a two-frame encoding (full or
+/// cone-of-influence), with hypothesis literals for every candidate and
+/// failure detectors for the owned slice.
+struct Shard<'a> {
     index: usize,
     solver: Solver,
     /// Frame-0 "candidate holds" assumption literal, indexed by slot
     /// (position in the resolvable-candidate list). Shared hypothesis
     /// vocabulary: every shard assumes the globally-alive subset of these.
-    hyp: Vec<Lit>,
+    /// On the eager path every entry is `Some` from construction; under COI
+    /// an entry stays `None` until [`Shard::hyp_lit`] first encodes its
+    /// frame-0 cone.
+    hyp: Vec<Option<Lit>>,
+    /// Demand-driven cone encoder (`None` on the full-encoding path, where
+    /// everything is encoded up front).
+    enc: Option<ConeEncoder<'a>>,
+    /// Set once [`Shard::run_preprocess`] has run: the CNF may have
+    /// eliminated variables, so no further cones may be encoded.
+    preprocessed: bool,
+    /// Variables the preprocessor must not eliminate, beyond the hypothesis
+    /// literals: fail selectors, OR-tree selectors + root, frame-1
+    /// indicator vars (models are read through them), and — on the eager
+    /// path — the frame-0 latch interface.
+    frozen_extra: Vec<Var>,
+    /// Snapshot of (vars, clauses) taken just before preprocessing.
+    pre_stats: Option<(usize, usize)>,
+    preprocess_seconds: f64,
     /// Owned slots (ascending).
     own: Vec<usize>,
     /// Fail selector per owned candidate (parallel to `own`): assuming the
@@ -210,9 +284,74 @@ struct Shard {
     dead: bool,
 }
 
-impl Shard {
+impl<'a> Shard<'a> {
     fn alive_count(&self) -> usize {
         self.own_alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Frame-0 hypothesis literal for `slot`, encoding its cone on demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cone would have to be encoded after preprocessing (the
+    /// CNF may have eliminated the cone's shared variables). This cannot
+    /// happen in the current round structure — every slot is alive at the
+    /// first base build, which precedes preprocessing — and a violation is
+    /// caught by the per-shard panic isolation (sound: the shard is
+    /// poisoned and its candidates dropped).
+    fn hyp_lit(
+        &mut self,
+        slot: usize,
+        na: &NetlistAig,
+        candidates: &[Candidate],
+        resolvable: &[usize],
+    ) -> Lit {
+        if let Some(l) = self.hyp[slot] {
+            return l;
+        }
+        assert!(
+            !self.preprocessed,
+            "hypothesis cone requested after preprocessing"
+        );
+        let enc = self
+            .enc
+            .as_mut()
+            .expect("lazy hypothesis literal on the full-encoding path");
+        let c = &candidates[resolvable[slot]];
+        let target = enc.lit(&mut self.solver, 0, na.net_lit[&c.net]);
+        let l = match c.kind {
+            CandidateKind::ConstFalse => !target,
+            CandidateKind::ConstTrue => target,
+            CandidateKind::EqualNet(other) => {
+                let o = enc.lit(&mut self.solver, 0, na.net_lit[&other]);
+                let s = self.solver.new_selector();
+                self.solver.add_guarded_clause(s, &[target, !o]);
+                self.solver.add_guarded_clause(s, &[!target, o]);
+                s
+            }
+        };
+        self.hyp[slot] = Some(l);
+        l
+    }
+
+    /// One-shot deterministic CNF preprocessing. Runs after the first base
+    /// build so every lazily-encoded hypothesis cone is already present;
+    /// freezes every literal the round loop assumes, asserts, or reads.
+    fn run_preprocess(&mut self) {
+        if self.preprocessed {
+            return;
+        }
+        self.preprocessed = true;
+        self.pre_stats = Some((self.solver.num_vars(), self.solver.num_clauses()));
+        let mut frozen: Vec<Var> = Vec::new();
+        frozen.extend(self.hyp.iter().flatten().map(|l| l.var()));
+        frozen.extend(self.frozen_extra.iter().copied());
+        if let Some(enc) = &self.enc {
+            frozen.extend(enc.state_vars().iter().map(|l| l.var()));
+        }
+        let t0 = Instant::now();
+        self.solver.preprocess(&frozen);
+        self.preprocess_seconds += t0.elapsed().as_secs_f64();
     }
 
     /// Estimated cost of this shard's next round: conflicts spent in its
@@ -376,7 +515,7 @@ pub fn houdini_prove_warm_governed(
                 &resolvable,
                 &active[lo..hi],
                 governor,
-                config.prove.clause_db_limit,
+                &config.prove,
             )
         })
         .collect();
@@ -472,7 +611,9 @@ pub fn houdini_prove_warm_governed(
             // conflict counter stay where previous releases put them.
             work.drain(..)
                 .map(|(s, shard, alw)| {
-                    let out = run_shard_round(shard, &alive, alw, config, governor);
+                    let out = run_shard_round(
+                        shard, &alive, alw, config, governor, na, candidates, &resolvable,
+                    );
                     (s, out)
                 })
                 .collect()
@@ -497,6 +638,7 @@ pub fn houdini_prove_warm_governed(
                 buckets[t].push(item);
             }
             let alive_ref = &alive;
+            let resolvable_ref = &resolvable;
             std::thread::scope(|scope| {
                 let handles: Vec<_> = buckets
                     .into_iter()
@@ -505,8 +647,16 @@ pub fn houdini_prove_warm_governed(
                             bucket
                                 .into_iter()
                                 .map(|(s, shard, alw)| {
-                                    let out =
-                                        run_shard_round(shard, alive_ref, alw, config, governor);
+                                    let out = run_shard_round(
+                                        shard,
+                                        alive_ref,
+                                        alw,
+                                        config,
+                                        governor,
+                                        na,
+                                        candidates,
+                                        resolvable_ref,
+                                    );
                                     (s, out)
                                 })
                                 .collect::<Vec<_>>()
@@ -552,6 +702,13 @@ pub fn houdini_prove_warm_governed(
     for shard in &shards {
         stats.iterations += shard.solves;
         stats.conflicts += shard.solver.num_conflicts();
+        let vars = shard.solver.num_vars();
+        let clauses = shard.solver.num_clauses();
+        let (vars_pre, clauses_pre) = shard.pre_stats.unwrap_or((vars, clauses));
+        let (cone_f0_ands, cone_f1_ands) = match &shard.enc {
+            Some(enc) => (enc.cone_ands(0), enc.cone_ands(1)),
+            None => (aig.num_ands(), aig.num_ands()),
+        };
         stats.shard_stats.push(ShardStats {
             shard: shard.index,
             candidates: shard.own.len(),
@@ -559,10 +716,17 @@ pub fn houdini_prove_warm_governed(
             solves: shard.solves,
             conflicts: shard.solver.num_conflicts(),
             propagations: shard.solver.num_propagations(),
-            vars: shard.solver.num_vars(),
-            clauses: shard.solver.num_clauses(),
+            vars,
+            clauses,
+            vars_pre,
+            clauses_pre,
+            vars_post: vars - shard.solver.num_eliminated_vars(),
+            clauses_post: clauses,
+            cone_f0_ands,
+            cone_f1_ands,
             encode_seconds: shard.encode_seconds,
             solve_seconds: shard.solve_seconds,
+            preprocess_seconds: shard.preprocess_seconds,
         });
     }
     let proved = (0..resolvable.len())
@@ -572,71 +736,112 @@ pub fn houdini_prove_warm_governed(
     (proved, stats, events)
 }
 
-/// Encode one shard: full two-frame transition relation, hypothesis
-/// literals for every resolvable candidate, failure detectors + OR-tree for
-/// the owned slice.
+/// Encode one shard: two-frame transition relation (full, or restricted to
+/// the shard's cones of influence under [`ProveConfig::coi`]), hypothesis
+/// literals for every resolvable candidate (lazy under COI), failure
+/// detectors + OR-tree for the owned slice.
 #[allow(clippy::too_many_arguments)]
-fn build_shard(
+fn build_shard<'a>(
     index: usize,
-    aig: &Aig,
+    aig: &'a Aig,
     constraint: AigLit,
     na: &NetlistAig,
     candidates: &[Candidate],
     resolvable: &[usize],
     own_slots: &[usize],
     governor: &Governor,
-    clause_db_limit: usize,
-) -> Shard {
+    prove: &ProveConfig,
+) -> Shard<'a> {
     let t0 = Instant::now();
     let mut solver = Solver::new();
     solver.set_governor(governor.clone());
-    solver.set_clause_db_limit(clause_db_limit);
-    let enc = FrameEncoder::new(aig, &mut solver);
-    // Frame 0 over a free state, frame 1 over its successors.
-    let state0 = enc.free_state(&mut solver);
-    let f0 = enc.encode_frame(&mut solver, &state0);
-    let f1 = enc.encode_frame(&mut solver, &f0.next_state);
-    // Environment constraint holds on both frames.
-    solver.add_clause(&[f0.lit(constraint)]);
-    solver.add_clause(&[f1.lit(constraint)]);
-
-    // Frame-0 hypotheses. Constants need no encoding at all (the
-    // assumption *is* the frame literal); equalities get a selector with
-    // one implication direction — the selector is only ever assumed true.
-    let hyp: Vec<Lit> = resolvable
-        .iter()
-        .map(|&ci| {
-            let c = &candidates[ci];
-            let target = f0.lit(na.net_lit[&c.net]);
-            match c.kind {
-                CandidateKind::ConstFalse => !target,
-                CandidateKind::ConstTrue => target,
-                CandidateKind::EqualNet(other) => {
-                    let o = f0.lit(na.net_lit[&other]);
-                    let s = solver.new_selector();
-                    solver.add_guarded_clause(s, &[target, !o]);
-                    solver.add_guarded_clause(s, &[!target, o]);
-                    s
-                }
-            }
-        })
-        .collect();
-
-    // Frame-1 failure detectors for the owned slice.
+    solver.set_clause_db_limit(prove.clause_db_limit);
     let own: Vec<usize> = own_slots.to_vec();
-    let mut fail = Vec::with_capacity(own.len());
-    let mut ind1 = Vec::with_capacity(own.len());
-    for &slot in &own {
-        let c = &candidates[resolvable[slot]];
-        let holds = indicator1(&mut solver, &f1, na, c);
-        let t = solver.new_selector();
-        // t_j → candidate j is violated at frame 1.
-        solver.add_guarded_clause(t, &[!holds]);
-        fail.push(t);
-        ind1.push(holds);
-    }
+    let mut frozen_extra: Vec<Var> = Vec::new();
+
+    let (hyp, enc, fail, ind1) = if prove.coi {
+        // Cone-of-influence path: encode only what this shard's queries
+        // reach — the environment constraint on both frames and the
+        // frame-1 cones of the owned candidates. Hypothesis cones are left
+        // to the first base build (`Shard::hyp_lit`).
+        let mut enc = ConeEncoder::new(aig, &mut solver);
+        let c0 = enc.lit(&mut solver, 0, constraint);
+        solver.add_clause(&[c0]);
+        let c1 = enc.lit(&mut solver, 1, constraint);
+        solver.add_clause(&[c1]);
+        let mut fail = Vec::with_capacity(own.len());
+        let mut ind1 = Vec::with_capacity(own.len());
+        for &slot in &own {
+            let c = &candidates[resolvable[slot]];
+            let holds = indicator1_cone(&mut solver, &mut enc, na, c);
+            let t = solver.new_selector();
+            // t_j → candidate j is violated at frame 1.
+            solver.add_guarded_clause(t, &[!holds]);
+            fail.push(t);
+            ind1.push(holds);
+        }
+        (vec![None; resolvable.len()], Some(enc), fail, ind1)
+    } else {
+        // Eager path: full two-frame encoding, frame 0 over a free state,
+        // frame 1 over its successors.
+        let enc = FrameEncoder::new(aig, &mut solver);
+        let state0 = enc.free_state(&mut solver);
+        frozen_extra.extend(state0.iter().map(|l| l.var()));
+        let f0 = enc.encode_frame(&mut solver, &state0);
+        let f1 = enc.encode_frame(&mut solver, &f0.next_state);
+        // Environment constraint holds on both frames.
+        solver.add_clause(&[f0.lit(constraint)]);
+        solver.add_clause(&[f1.lit(constraint)]);
+
+        // Frame-0 hypotheses. Constants need no encoding at all (the
+        // assumption *is* the frame literal); equalities get a selector
+        // with one implication direction — the selector is only ever
+        // assumed true.
+        let hyp: Vec<Option<Lit>> = resolvable
+            .iter()
+            .map(|&ci| {
+                let c = &candidates[ci];
+                let target = f0.lit(na.net_lit[&c.net]);
+                Some(match c.kind {
+                    CandidateKind::ConstFalse => !target,
+                    CandidateKind::ConstTrue => target,
+                    CandidateKind::EqualNet(other) => {
+                        let o = f0.lit(na.net_lit[&other]);
+                        let s = solver.new_selector();
+                        solver.add_guarded_clause(s, &[target, !o]);
+                        solver.add_guarded_clause(s, &[!target, o]);
+                        s
+                    }
+                })
+            })
+            .collect();
+
+        // Frame-1 failure detectors for the owned slice.
+        let mut fail = Vec::with_capacity(own.len());
+        let mut ind1 = Vec::with_capacity(own.len());
+        for &slot in &own {
+            let c = &candidates[resolvable[slot]];
+            let holds = indicator1(&mut solver, &f1, na, c);
+            let t = solver.new_selector();
+            // t_j → candidate j is violated at frame 1.
+            solver.add_guarded_clause(t, &[!holds]);
+            fail.push(t);
+            ind1.push(holds);
+        }
+        (hyp, None, fail, ind1)
+    };
+
+    // Everything assumed, asserted as drop units, or read from models must
+    // survive preprocessing: fail selectors and the frame-1 indicators the
+    // drop logic reads out of Sat models.
+    frozen_extra.extend(fail.iter().map(|l| l.var()));
+    frozen_extra.extend(ind1.iter().map(|l| l.var()));
+
     // Balanced OR-tree: root → (some fail selector true). One ternary
     // clause per node keeps propagation local regardless of shard size.
+    // Every tree selector (interior and root) is frozen: eliminating an
+    // interior one would flatten the tree back into the wide activation
+    // clause the ≤3-literal encoding exists to avoid.
     let mut layer: Vec<Lit> = fail.clone();
     while layer.len() > 1 {
         let mut next = Vec::with_capacity(layer.len().div_ceil(2));
@@ -644,6 +849,7 @@ fn build_shard(
             if let [a, b] = *pair {
                 let o = solver.new_selector();
                 solver.add_guarded_clause(o, &[a, b]);
+                frozen_extra.push(o.var());
                 next.push(o);
             } else {
                 next.push(pair[0]);
@@ -658,6 +864,11 @@ fn build_shard(
         index,
         solver,
         hyp,
+        enc,
+        preprocessed: false,
+        frozen_extra,
+        pre_stats: None,
+        preprocess_seconds: 0.0,
         own,
         fail,
         ind1,
@@ -693,21 +904,59 @@ fn indicator1(solver: &mut Solver, frame: &Frame, na: &NetlistAig, c: &Candidate
     }
 }
 
+/// [`indicator1`] for the cone-of-influence path: encodes the frame-1 cone
+/// of the candidate's nets on demand instead of reading a pre-built frame.
+fn indicator1_cone(
+    solver: &mut Solver,
+    enc: &mut ConeEncoder<'_>,
+    na: &NetlistAig,
+    c: &Candidate,
+) -> Lit {
+    let target = enc.lit(solver, 1, na.net_lit[&c.net]);
+    match c.kind {
+        CandidateKind::ConstFalse => !target,
+        CandidateKind::ConstTrue => target,
+        CandidateKind::EqualNet(other) => {
+            let o = enc.lit(solver, 1, na.net_lit[&other]);
+            // t <-> (target == o)
+            let t = Lit::pos(solver.new_var());
+            solver.add_clause(&[!t, target, !o]);
+            solver.add_clause(&[!t, !target, o]);
+            solver.add_clause(&[t, target, o]);
+            solver.add_clause(&[t, !target, !o]);
+            t
+        }
+    }
+}
+
 /// One round of one shard: solve against the global alive snapshot until
 /// the owned slice is verified (Unsat), emptied, or cut by a budget.
 /// Decisions consult only shard-local state (the allowance) plus the
 /// governor's time/cancel/fault signals; see the module docs for why that
 /// keeps budget cuts deterministic.
+#[allow(clippy::too_many_arguments)]
 fn run_shard_round(
-    shard: &mut Shard,
+    shard: &mut Shard<'_>,
     alive_snapshot: &[bool],
     allowance: Option<u64>,
     config: &HoudiniConfig,
     governor: &Governor,
+    na: &NetlistAig,
+    candidates: &[Candidate],
+    resolvable: &[usize],
 ) -> RoundOutcome {
     let conflicts_before = shard.solver.num_conflicts();
     let result = catch_unwind(AssertUnwindSafe(|| {
-        run_shard_round_inner(shard, alive_snapshot, allowance, config, governor)
+        run_shard_round_inner(
+            shard,
+            alive_snapshot,
+            allowance,
+            config,
+            governor,
+            na,
+            candidates,
+            resolvable,
+        )
     }));
     match result {
         Ok(out) => {
@@ -742,12 +991,16 @@ fn run_shard_round(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_shard_round_inner(
-    shard: &mut Shard,
+    shard: &mut Shard<'_>,
     alive_snapshot: &[bool],
     allowance: Option<u64>,
     config: &HoudiniConfig,
     governor: &Governor,
+    na: &NetlistAig,
+    candidates: &[Candidate],
+    resolvable: &[usize],
 ) -> RoundOutcome {
     let mut out = RoundOutcome::default();
     // Local view: the global snapshot minus this shard's in-round drops.
@@ -797,12 +1050,18 @@ fn run_shard_round_inner(
             break;
         }
         // Base assumptions: hypotheses of every globally-alive candidate
-        // in ascending order.
+        // in ascending order (encoding their cones on first use under COI).
         let mut assumptions: Vec<Lit> = Vec::with_capacity(alive.len() + 2);
         for (slot, &a) in alive.iter().enumerate() {
             if a {
-                assumptions.push(shard.hyp[slot]);
+                assumptions.push(shard.hyp_lit(slot, na, candidates, resolvable));
             }
+        }
+        // First base build of the shard's lifetime: every hypothesis cone
+        // the fixpoint can ever assume is now encoded, so this is the one
+        // safe moment to preprocess the CNF.
+        if config.prove.preprocess {
+            shard.run_preprocess();
         }
         let base_len = assumptions.len();
         // ¬fail literals of this pass's drops, appended after the base.

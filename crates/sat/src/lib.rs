@@ -23,7 +23,7 @@
 
 mod solver;
 
-pub use solver::{Lit, SolveResult, Solver, Var};
+pub use solver::{Lit, PreprocessStats, SolveResult, Solver, Var};
 
 #[cfg(test)]
 mod tests {

@@ -153,7 +153,14 @@ const GOVERNOR_BATCH: u64 = 64;
 #[derive(Debug)]
 pub struct Solver {
     clauses: Vec<Clause>,
-    watches: Vec<Vec<Watcher>>, // indexed by lit code
+    watches: Vec<Vec<Watcher>>, // indexed by lit code (clauses of length ≥ 3)
+    /// Dedicated binary-implication layer: for a two-literal clause
+    /// `(a ∨ b)` the entry at `(!a).code()` is `(b, cref)` and vice
+    /// versa. Binary clauses never move their watches, so propagation
+    /// over them is a flat scan with no clause-storage hop — Tseitin
+    /// encodings of AIGs are two-thirds binary clauses, which makes this
+    /// the solver's hottest list.
+    bin_watches: Vec<Vec<Watcher>>, // indexed by lit code (length-2 clauses)
     assigns: Vec<u8>,             // lbool per var
     level: Vec<u32>,
     reason: Vec<Option<ClauseRef>>,
@@ -174,6 +181,11 @@ pub struct Solver {
     heap: Vec<Var>,
     heap_pos: Vec<usize>, // usize::MAX when absent
     polarity: Vec<bool>,  // saved phases
+    /// Variables removed by bounded variable elimination
+    /// ([`Solver::preprocess`]): never decided on, and guaranteed absent
+    /// from every live clause. Their model value is unspecified.
+    eliminated: Vec<bool>,
+    num_eliminated: usize,
     // analysis scratch
     seen: Vec<bool>,
     lbd_stamp: Vec<u64>, // indexed by decision level
@@ -208,6 +220,7 @@ impl Solver {
         Solver {
             clauses: Vec::new(),
             watches: Vec::new(),
+            bin_watches: Vec::new(),
             assigns: Vec::new(),
             level: Vec::new(),
             reason: Vec::new(),
@@ -221,6 +234,8 @@ impl Solver {
             heap: Vec::new(),
             heap_pos: Vec::new(),
             polarity: Vec::new(),
+            eliminated: Vec::new(),
+            num_eliminated: 0,
             seen: Vec::new(),
             lbd_stamp: vec![0],
             lbd_gen: 0,
@@ -247,11 +262,14 @@ impl Solver {
         self.reason.push(None);
         self.activity.push(0.0);
         self.polarity.push(false);
+        self.eliminated.push(false);
         self.seen.push(false);
         self.lbd_stamp.push(0);
         self.heap_pos.push(usize::MAX);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.bin_watches.push(Vec::new());
+        self.bin_watches.push(Vec::new());
         self.heap_insert(v);
         v
     }
@@ -292,6 +310,12 @@ impl Solver {
     /// Live learnt clauses currently retained.
     pub fn num_learnt_clauses(&self) -> usize {
         self.num_learnt
+    }
+
+    /// Variables removed by [`Solver::preprocess`]'s bounded variable
+    /// elimination (0 before any preprocessing).
+    pub fn num_eliminated_vars(&self) -> usize {
+        self.num_eliminated
     }
 
     /// Conflicts encountered so far (across all solve calls).
@@ -474,11 +498,18 @@ impl Solver {
 
     fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
         let cref = self.clauses.len() as ClauseRef;
-        self.watches[(!lits[0]).code()].push(Watcher {
+        // Binary clauses live only in the implication layer; the watcher's
+        // blocker field doubles as "the other literal".
+        let lists = if lits.len() == 2 {
+            &mut self.bin_watches
+        } else {
+            &mut self.watches
+        };
+        lists[(!lits[0]).code()].push(Watcher {
             cref,
             blocker: lits[1],
         });
-        self.watches[(!lits[1]).code()].push(Watcher {
+        lists[(!lits[1]).code()].push(Watcher {
             cref,
             blocker: lits[0],
         });
@@ -514,6 +545,31 @@ impl Solver {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.propagations += 1;
+            // Binary layer first: each entry is (other literal, clause).
+            // The list never shrinks during search (binaries are exempt
+            // from clause-DB reduction), so a plain index walk is safe
+            // even while enqueues extend the trail.
+            let mut bi = 0;
+            while bi < self.bin_watches[p.code()].len() {
+                let w = self.bin_watches[p.code()][bi];
+                bi += 1;
+                match self.lit_value(w.blocker) {
+                    1 => {}
+                    0 => {
+                        self.qhead = self.trail.len();
+                        return Some(w.cref);
+                    }
+                    _ => {
+                        // analyze() expects a reason clause's implied
+                        // literal at position 0.
+                        let c = &mut self.clauses[w.cref as usize];
+                        if c.lits[0] != w.blocker {
+                            c.lits.swap(0, 1);
+                        }
+                        self.unchecked_enqueue(w.blocker, Some(w.cref));
+                    }
+                }
+            }
             let mut i = 0;
             let mut watch = std::mem::take(&mut self.watches[p.code()]);
             let mut conflict = None;
@@ -718,7 +774,7 @@ impl Solver {
 
     fn pick_branch_var(&mut self) -> Option<Var> {
         while let Some(v) = self.heap_pop() {
-            if self.assigns[v.index()] == LBOOL_UNDEF {
+            if self.assigns[v.index()] == LBOOL_UNDEF && !self.eliminated[v.index()] {
                 return Some(v);
             }
         }
@@ -1040,6 +1096,13 @@ fn luby(i: u64) -> u64 {
         luby(n - (1 << (k - 1)))
     }
 }
+
+// Child module so the preprocessor can reach the solver's private state;
+// kept in its own file (and on the panic-lint allowlist) because it is
+// written panic-free end to end.
+#[path = "preprocess.rs"]
+mod preprocess;
+pub use preprocess::PreprocessStats;
 
 #[cfg(test)]
 mod tests {

@@ -82,6 +82,46 @@ proptest! {
     }
 
     #[test]
+    fn preprocessed_solver_agrees_with_unpreprocessed(
+        clauses in clauses_strategy(8),
+        frozen_mask in 0u16..256,
+        queries in prop::collection::vec(
+            prop::collection::vec((0usize..8, any::<bool>()), 0..4),
+            0..4,
+        ),
+    ) {
+        // The preprocessed solver must agree with the unpreprocessed one
+        // on the global sat/unsat verdict and on every assumption-set
+        // query built from *frozen* literals (the preprocessing
+        // contract: frozen vars survive elimination, so they stay legal
+        // as assumptions).
+        let (mut plain, pv, ok1) = build_solver(8, &clauses);
+        let (mut pped, qv, ok2) = build_solver(8, &clauses);
+        prop_assert_eq!(ok1, ok2);
+        if !ok1 {
+            return Ok(());
+        }
+        let frozen_idx: Vec<usize> = (0..8).filter(|i| frozen_mask >> i & 1 == 1).collect();
+        let frozen: Vec<Var> = frozen_idx.iter().map(|&i| qv[i]).collect();
+        pped.preprocess(&frozen);
+        prop_assert_eq!(plain.solve(), pped.solve(), "global verdict diverged");
+        for q in &queries {
+            let restricted: Vec<(usize, bool)> = q
+                .iter()
+                .copied()
+                .filter(|(v, _)| frozen_idx.contains(v))
+                .collect();
+            let a1: Vec<Lit> = restricted.iter().map(|&(v, p)| Lit::with_phase(pv[v], p)).collect();
+            let a2: Vec<Lit> = restricted.iter().map(|&(v, p)| Lit::with_phase(qv[v], p)).collect();
+            prop_assert_eq!(
+                plain.solve_with(&a1),
+                pped.solve_with(&a2),
+                "assumption query diverged on {:?}", restricted
+            );
+        }
+    }
+
+    #[test]
     fn solver_is_reusable_after_unsat_assumptions(clauses in clauses_strategy(5)) {
         let (mut s, vars, ok) = build_solver(5, &clauses);
         prop_assume!(ok);

@@ -14,7 +14,10 @@ export CARGO_NET_OFFLINE=true
 
 sh scripts/lint_panics.sh
 
-cargo build --release
+# --workspace matters: the root is itself a package, so a bare
+# `cargo build` would skip pdat-bench and the smoke gates below would
+# silently run stale binaries from an earlier build.
+cargo build --release --workspace
 cargo test -q --workspace
 
 # Robustness gate: sweep seeded fault schedules through the full pipeline
@@ -24,7 +27,9 @@ cargo test -q --workspace
 
 # Prover gate: governed sharded prover (2 threads, one candidate per
 # shard) on the keyed design must reproduce the golden proved list with
-# no degradation events.
+# no degradation events — once through the default cone-of-influence +
+# CNF-preprocessing encoding and once through the eager full-frame
+# encoding, so the two paths can never drift apart.
 ./target/release/prove_smoke
 
 # Proof-cache gate: miss, exact-hit, lattice-hit (warm-started Houdini),

@@ -60,8 +60,17 @@ fn conflict_budget_one_is_subset_on_keyed_design() {
     assert!(free.proved >= 1, "oracle run proves the key invariant");
     assert!(free.degradations.is_empty(), "oracle run is unbudgeted");
 
+    // The strict-shrinkage half of this test is a statement about solver
+    // difficulty, so it pins the eager, unpreprocessed encoding: with COI +
+    // CNF preprocessing (the default) the keyed-design queries finish on
+    // propagation alone and a 1-conflict budget no longer starves anything.
     let starved_cfg = PdatConfig {
         conflict_budget: Some(1),
+        prove: ProveConfig {
+            coi: false,
+            preprocess: false,
+            ..Default::default()
+        },
         ..base_config()
     };
     let starved =
@@ -83,6 +92,35 @@ fn conflict_budget_one_is_subset_on_keyed_design() {
     // And the result is still a valid, behaviour-preserving netlist.
     starved.netlist.validate().expect("degraded netlist valid");
     assert!(starved.optimized.gate_count <= starved.baseline.gate_count + 2);
+}
+
+/// The COI + preprocessing prover keeps the starvation guarantee: for any
+/// global conflict budget, the proved set is a subset of the unbudgeted
+/// fixpoint's, and a budget of zero still completes with a valid netlist.
+#[test]
+fn starved_coi_proving_is_subset_of_unbudgeted() {
+    let nl = keyed_design();
+    let free = run_pdat(&nl, &Environment::Unconstrained, &base_config()).expect("pdat run");
+    assert!(free.proved >= 1, "oracle run proves the key invariant");
+    let free_set = proved_set(&free);
+
+    for budget in [0u64, 1, 3, 10] {
+        let starved_cfg = PdatConfig {
+            global_conflict_budget: Some(budget),
+            prove: ProveConfig {
+                shard_size: 1,
+                ..Default::default() // COI + preprocessing on
+            },
+            ..base_config()
+        };
+        let starved = run_pdat(&nl, &Environment::Unconstrained, &starved_cfg).expect("pdat run");
+        let starved_set = proved_set(&starved);
+        assert!(
+            starved_set.is_subset(&free_set),
+            "budget={budget}: a starved COI prover must not invent proofs"
+        );
+        starved.netlist.validate().expect("degraded netlist valid");
+    }
 }
 
 #[test]

@@ -74,6 +74,15 @@ fn proved_set_is_identical_for_1_2_4_threads() {
 }
 
 fn prover_config(threads: usize, shard_size: usize) -> PdatConfig {
+    prover_config_enc(threads, shard_size, true, true)
+}
+
+fn prover_config_enc(
+    threads: usize,
+    shard_size: usize,
+    coi: bool,
+    preprocess: bool,
+) -> PdatConfig {
     PdatConfig {
         sim_cycles: 96,
         conflict_budget: Some(40_000),
@@ -82,6 +91,8 @@ fn prover_config(threads: usize, shard_size: usize) -> PdatConfig {
         prove: ProveConfig {
             threads,
             shard_size,
+            coi,
+            preprocess,
             ..Default::default()
         },
         ..Default::default()
@@ -161,6 +172,70 @@ fn keyed_design() -> Netlist {
     let out = nl.add_cell(CellKind::Mux2, &[decoy, t, key], "out");
     nl.add_output("y", out);
     nl
+}
+
+/// The cone-of-influence shard encoding plus CNF preprocessing must prove
+/// the *bit-identical* set the eager full-encoding prover proves, at every
+/// thread count: the partial encoding is equisatisfiable with the full one
+/// for every query a shard issues, and the Houdini fixpoint is unique, so
+/// only the solver counters (different CNFs) may differ — never the
+/// proved invariants or the resulting netlist.
+#[test]
+fn coi_prover_matches_full_encoding_bit_identical_on_ibex() {
+    let core = build_ibex();
+    let subset = RvSubset::rv32i();
+    let env = Environment::Rv {
+        subset: &subset,
+        ports: vec![core.cut_fetch.clone()],
+        mode: ConstraintMode::CutpointBased,
+    };
+    let full =
+        run_pdat(&core.netlist, &env, &prover_config_enc(1, 1024, false, false)).expect("pdat run");
+    assert!(full.proved > 0, "fixture must prove something");
+    for threads in [1usize, 2, 4, 8] {
+        let coi = run_pdat(&core.netlist, &env, &prover_config_enc(threads, 1024, true, true))
+            .expect("pdat run");
+        assert_eq!(
+            full.proved_invariants, coi.proved_invariants,
+            "ibex threads={threads}: COI proved set diverged from full encoding"
+        );
+        assert_eq!(
+            full.optimized, coi.optimized,
+            "ibex threads={threads}: COI optimized netlist stats diverged"
+        );
+        // The reduced encoding must actually be smaller, or it isn't a
+        // cone-of-influence encoding at all.
+        let vars = |r: &PdatResult| -> usize {
+            r.houdini_stats.shard_stats.iter().map(|s| s.vars_pre).sum()
+        };
+        assert!(
+            vars(&coi) < vars(&full),
+            "ibex threads={threads}: COI encoding is not smaller ({} vs {})",
+            vars(&coi),
+            vars(&full)
+        );
+    }
+}
+
+#[test]
+fn coi_prover_matches_full_encoding_bit_identical_on_keyed_design() {
+    let nl = keyed_design();
+    let full =
+        run_pdat(&nl, &Environment::Unconstrained, &prover_config_enc(1, 1, false, false))
+            .expect("pdat run");
+    assert!(full.proved >= 1, "keyed design proves the key invariant");
+    for threads in [1usize, 2, 4, 8] {
+        let coi = run_pdat(&nl, &Environment::Unconstrained, &prover_config_enc(threads, 1, true, true))
+            .expect("pdat run");
+        assert_eq!(
+            full.proved_invariants, coi.proved_invariants,
+            "keyed threads={threads}: COI proved set diverged from full encoding"
+        );
+        assert_eq!(
+            full.optimized, coi.optimized,
+            "keyed threads={threads}: COI optimized netlist stats diverged"
+        );
+    }
 }
 
 #[test]
