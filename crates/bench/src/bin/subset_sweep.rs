@@ -191,8 +191,11 @@ fn main() {
         .collect();
     let cache = ProofCache::new();
     let warm_wall = Instant::now();
-    let warm = run_pdat_batch(&setup.core.netlist, &requests, &config, &cache)
-        .expect("warm batch failed");
+    let warm: Vec<_> = run_pdat_batch(&setup.core.netlist, &requests, &config, &cache)
+        .expect("warm batch failed")
+        .into_iter()
+        .map(|r| r.expect("warm request failed"))
+        .collect();
     let warm_wall = warm_wall.elapsed().as_secs_f64();
 
     // --- The contract: warm answers are bit-identical to cold. ---

@@ -6,6 +6,18 @@
 //! I/O and parse failures surface as [`CacheIoError`]; this module
 //! contains no `unwrap`/`expect`/`panic!` (enforced by
 //! `scripts/lint_panics.sh`).
+//!
+//! Persistence is **crash-safe**: [`save_cache`] writes the whole
+//! serialization to `<path>.tmp`, fsyncs it, and renames it over the
+//! target, so an interruption at any write boundary leaves either the
+//! previous consistent snapshot or a torn `.tmp` that no loader ever
+//! reads — never a corrupt target. The interruption points are testable
+//! via [`save_cache_with_faults`] (a write-counting injection of the
+//! `FaultPlan::io_fail_after_writes` arm),
+//! and a service that still finds a corrupt file at boot (e.g. one
+//! written by a pre-atomic version, or bit-rot) can
+//! [`load_cache_or_quarantine`] it: the bad file is moved aside to
+//! `<path>.quarantine` and the service starts cold instead of dying.
 
 use crate::cache::{CachedRun, CachedSummary, ProofCache};
 use crate::env::{CanonicalEnv, CanonicalExtra, CanonicalForm, EnvMode};
@@ -14,7 +26,8 @@ use pdat_netlist::{CellKind, NetlistStats};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
-use std::path::Path;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 
 const HEADER: &str = "pdat-proof-cache v1";
 
@@ -90,14 +103,97 @@ fn decode_name(tok: &str) -> String {
     tok.replace("%20", " ").replace("%0A", "\n").replace("%25", "%")
 }
 
-/// Serialize every cache entry to `path`, atomically enough for a bench
-/// artifact (write then rename would need a tempdir; a cache file is a
-/// pure accelerator, so a torn write only ever costs re-proving).
+/// Serialize every cache entry to `path` atomically: the full
+/// serialization is written to `<path>.tmp`, fsynced, and renamed over
+/// the target, so a crash at any point leaves either the previous
+/// consistent snapshot or a stale `.tmp` (overwritten by the next save)
+/// — never a torn target file.
 ///
 /// # Errors
 ///
-/// Returns [`CacheIoError::Io`] on filesystem failure.
+/// Returns [`CacheIoError::Io`] on filesystem failure; the target file
+/// is untouched on error.
 pub fn save_cache(cache: &ProofCache, path: &Path) -> Result<(), CacheIoError> {
+    save_cache_with_faults(cache, path, None)
+}
+
+/// [`save_cache`] with a deterministic injected interruption: the
+/// `fail_after_writes`'th logical write operation (4 KiB chunk writes,
+/// then the fsync, then the rename) fails with an I/O error, leaving the
+/// filesystem exactly as a `kill -9` at that boundary would — a torn
+/// `.tmp` alongside an untouched target. This is the injection site for
+/// `FaultPlan::io_fail_after_writes`; pass
+/// `None` for the normal un-faulted save.
+///
+/// # Errors
+///
+/// Returns [`CacheIoError::Io`] on real or injected filesystem failure;
+/// the target file is untouched on error.
+pub fn save_cache_with_faults(
+    cache: &ProofCache,
+    path: &Path,
+    fail_after_writes: Option<u64>,
+) -> Result<(), CacheIoError> {
+    let out = render_cache(cache);
+    let tmp = suffixed_path(path, ".tmp");
+    let mut budget = WriteBudget::new(fail_after_writes);
+    let mut file = fs::File::create(&tmp)?;
+    for chunk in out.as_bytes().chunks(4096) {
+        budget.spend()?;
+        file.write_all(chunk)?;
+    }
+    budget.spend()?;
+    file.sync_all()?;
+    drop(file);
+    budget.spend()?;
+    fs::rename(&tmp, path)?;
+    // Make the rename itself durable. Directory fsync is advisory on
+    // some filesystems; a failure here cannot tear anything, so it is
+    // deliberately not propagated.
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Counts logical write operations and fails the N'th one (testing hook
+/// for crash-safety; see [`save_cache_with_faults`]).
+struct WriteBudget {
+    remaining: Option<u64>,
+}
+
+impl WriteBudget {
+    fn new(fail_after: Option<u64>) -> WriteBudget {
+        WriteBudget {
+            remaining: fail_after,
+        }
+    }
+
+    fn spend(&mut self) -> Result<(), CacheIoError> {
+        match self.remaining.as_mut() {
+            None => Ok(()),
+            Some(0) => Err(CacheIoError::Io(std::io::Error::new(
+                std::io::ErrorKind::Other,
+                "injected i/o fault (io_fail_after_writes)",
+            ))),
+            Some(n) => {
+                *n -= 1;
+                Ok(())
+            }
+        }
+    }
+}
+
+/// `<path><suffix>` in the same directory (so renames stay atomic).
+fn suffixed_path(path: &Path, suffix: &str) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(suffix);
+    PathBuf::from(os)
+}
+
+fn render_cache(cache: &ProofCache) -> String {
     let mut out = String::new();
     out.push_str(HEADER);
     out.push('\n');
@@ -160,8 +256,7 @@ pub fn save_cache(cache: &ProofCache, path: &Path) -> Result<(), CacheIoError> {
         fmt_stats(&mut out, "optimized", &run.summary.optimized);
         out.push_str("end\n");
     }
-    fs::write(path, out)?;
-    Ok(())
+    out
 }
 
 fn mode_tag(m: EnvMode) -> u8 {
@@ -399,6 +494,63 @@ pub fn load_cache(cache: &ProofCache, path: &Path) -> Result<usize, CacheIoError
     }
 }
 
+/// Outcome of a resilient cache load ([`load_cache_or_quarantine`]).
+#[derive(Debug)]
+pub enum LoadOutcome {
+    /// The file parsed cleanly; this many entries were inserted.
+    Loaded(usize),
+    /// No cache file exists; the cache starts cold.
+    ColdStart,
+    /// The file was corrupt: it was moved to the quarantine path and the
+    /// cache starts cold (soundness is unaffected — a missing cache only
+    /// costs re-proving).
+    Quarantined {
+        /// What was wrong with the file.
+        error: CacheIoError,
+        /// Where the corrupt file was moved.
+        quarantine: PathBuf,
+    },
+}
+
+/// Service-boot loader: like [`load_cache`], but a missing file is a
+/// cold start and a corrupt file is *quarantined* — renamed to
+/// `<path>.quarantine` (replacing any previous quarantine) — instead of
+/// erroring the caller. The cache is only populated on a fully clean
+/// parse: a file that fails halfway contributes nothing, so a boot is
+/// always "consistent snapshot or cold", never "half a snapshot".
+///
+/// # Errors
+///
+/// Returns [`CacheIoError::Io`] only on a real filesystem failure
+/// (unreadable file other than `NotFound`, or a failed quarantine
+/// rename).
+pub fn load_cache_or_quarantine(
+    cache: &ProofCache,
+    path: &Path,
+) -> Result<LoadOutcome, CacheIoError> {
+    // Parse into a scratch cache first: `load_cache` inserts entries as
+    // it goes, and a parse error halfway through must not leave a
+    // partial snapshot in the service's cache.
+    let scratch = ProofCache::new();
+    match load_cache(&scratch, path) {
+        Ok(n) => {
+            for (nfp, run) in scratch.snapshot() {
+                cache.insert(nfp, (*run).clone());
+            }
+            Ok(LoadOutcome::Loaded(n))
+        }
+        Err(CacheIoError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+            Ok(LoadOutcome::ColdStart)
+        }
+        Err(CacheIoError::Io(e)) => Err(CacheIoError::Io(e)),
+        Err(error @ CacheIoError::Parse { .. }) => {
+            let quarantine = suffixed_path(path, ".quarantine");
+            fs::rename(path, &quarantine)?;
+            Ok(LoadOutcome::Quarantined { error, quarantine })
+        }
+    }
+}
+
 fn self_u8(p: &Parser<'_>, tok: Option<&str>) -> Result<u8, CacheIoError> {
     let v = p.parse_u64(tok, 10, "byte field")?;
     u8::try_from(v).map_err(|_| p.err(format!("byte field out of range: {v}")))
@@ -536,5 +688,118 @@ mod tests {
             Path::new("/definitely/not/a/real/path.pdatcache"),
         );
         assert!(matches!(err, Err(CacheIoError::Io(_))));
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join("pdat_cache_io_test");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("atomic.pdatcache");
+        let cache = ProofCache::new();
+        cache.insert(7, sample_run());
+        save_cache(&cache, &path).expect("save");
+        assert!(!suffixed_path(&path, ".tmp").exists(), "tmp renamed away");
+        let loaded = ProofCache::new();
+        assert_eq!(load_cache(&loaded, &path).ok(), Some(1));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interrupted_save_never_corrupts_the_previous_snapshot() {
+        let dir = std::env::temp_dir().join("pdat_cache_io_test");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("torn.pdatcache");
+        let cache = ProofCache::new();
+        cache.insert(1, sample_run());
+        save_cache(&cache, &path).expect("initial save");
+
+        // Kill the save at every write boundary; the target must stay a
+        // loadable snapshot of the *previous* save each time.
+        let mut injected = 0;
+        for fail_after in 0..16u64 {
+            let bigger = ProofCache::new();
+            bigger.insert(1, sample_run());
+            bigger.insert(2, sample_run());
+            match save_cache_with_faults(&bigger, &path, Some(fail_after)) {
+                Err(CacheIoError::Io(_)) => {
+                    injected += 1;
+                    let reloaded = ProofCache::new();
+                    assert_eq!(
+                        load_cache(&reloaded, &path).ok(),
+                        Some(1),
+                        "fail_after={fail_after}: previous snapshot must survive"
+                    );
+                }
+                Ok(()) => {
+                    // Budget outlasted the save: the new snapshot landed.
+                    let reloaded = ProofCache::new();
+                    assert_eq!(load_cache(&reloaded, &path).ok(), Some(2));
+                }
+                Err(e) => panic!("unexpected error kind: {e}"),
+            }
+        }
+        assert!(injected >= 2, "sweep must actually interrupt saves");
+        // A later clean save overwrites any torn tmp and the target.
+        let bigger = ProofCache::new();
+        bigger.insert(1, sample_run());
+        bigger.insert(2, sample_run());
+        save_cache(&bigger, &path).expect("clean save after torn ones");
+        assert!(!suffixed_path(&path, ".tmp").exists());
+        let reloaded = ProofCache::new();
+        assert_eq!(load_cache(&reloaded, &path).ok(), Some(2));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn quarantine_loader_survives_missing_and_corrupt_files() {
+        let dir = std::env::temp_dir().join("pdat_cache_io_test");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("boot.pdatcache");
+        let quarantine = suffixed_path(&path, ".quarantine");
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(&quarantine);
+
+        // Missing file: cold start, no error.
+        let cache = ProofCache::new();
+        assert!(matches!(
+            load_cache_or_quarantine(&cache, &path),
+            Ok(LoadOutcome::ColdStart)
+        ));
+        assert!(cache.is_empty());
+
+        // Corrupt file: quarantined, cache stays empty (even though the
+        // file starts with valid entries, nothing partial is kept).
+        let good = ProofCache::new();
+        good.insert(1, sample_run());
+        save_cache(&good, &path).expect("save");
+        let mut text = fs::read_to_string(&path).expect("read");
+        text.push_str("run not-a-fingerprint zz\n");
+        fs::write(&path, text).expect("corrupt");
+        match load_cache_or_quarantine(&cache, &path) {
+            Ok(LoadOutcome::Quarantined { error, quarantine: q }) => {
+                assert!(matches!(error, CacheIoError::Parse { .. }));
+                assert_eq!(q, quarantine);
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert!(cache.is_empty(), "no partial snapshot after quarantine");
+        assert!(!path.exists(), "corrupt file moved away");
+        assert!(quarantine.exists(), "quarantine file kept for forensics");
+
+        // Next boot is a clean cold start.
+        assert!(matches!(
+            load_cache_or_quarantine(&cache, &path),
+            Ok(LoadOutcome::ColdStart)
+        ));
+
+        // And an intact file loads into the caller's cache.
+        save_cache(&good, &path).expect("save");
+        match load_cache_or_quarantine(&cache, &path) {
+            Ok(LoadOutcome::Loaded(1)) => {}
+            other => panic!("expected Loaded(1), got {other:?}"),
+        }
+        assert_eq!(cache.len(), 1);
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(&quarantine);
     }
 }

@@ -34,4 +34,7 @@ mod io;
 pub use cache::{CacheLookup, CacheStats, CachedRun, CachedSummary, ProofCache};
 pub use env::{CanonicalEnv, CanonicalExtra, CanonicalForm, EnvMode};
 pub use fingerprint::{netlist_fingerprint, Fnv};
-pub use io::{load_cache, save_cache, CacheIoError};
+pub use io::{
+    load_cache, load_cache_or_quarantine, save_cache, save_cache_with_faults, CacheIoError,
+    LoadOutcome,
+};

@@ -61,8 +61,9 @@ pub use constraint::{
     InstrConstraint,
 };
 pub use pdat_cache::{
-    load_cache, netlist_fingerprint, save_cache, CacheIoError, CacheLookup, CacheStats, CachedRun,
-    CachedSummary, CanonicalEnv, CanonicalExtra, CanonicalForm, EnvMode, ProofCache,
+    load_cache, load_cache_or_quarantine, netlist_fingerprint, save_cache, save_cache_with_faults,
+    CacheIoError, CacheLookup, CacheStats, CachedRun, CachedSummary, CanonicalEnv, CanonicalExtra,
+    CanonicalForm, EnvMode, LoadOutcome, ProofCache,
 };
 pub use pdat_governor::{
     Cause, DegradationEvent, FaultPlan, Governor, GovernorConfig, Stage,

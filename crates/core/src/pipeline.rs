@@ -207,6 +207,7 @@ pub enum Environment<'a> {
 /// An additional environment restriction beyond the ISA subset (paper
 /// Fig. 3 lists these: I/O protocol restrictions, explicit mapping of code
 /// sequences to address regions, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExtraRestriction {
     /// Whenever the `addr` nets equal `address`, the `data` nets carry
     /// `word` — e.g. a reset handler or trap vector pinned into the fetch
@@ -632,19 +633,24 @@ pub struct BatchRequest<'a> {
 ///   to exact hits.
 /// * One shared governor spans the batch: its budgets are drained in
 ///   that same deterministic order.
+/// * Failures are **per-request**: a malformed request (e.g. a
+///   constraint net that is not a free analysis variable) yields an
+///   `Err` in its own slot and does not sink its batch-mates.
 ///
-/// Reports are returned in the *original request order*.
+/// Outcomes are returned in the *original request order*, one
+/// `Result<SubsetReport, PdatError>` per request.
 ///
 /// # Errors
 ///
-/// Returns [`PdatError`] on the first structurally invalid request; the
-/// cache keeps entries inserted before the failure.
+/// The outer `Err` is reserved for faults that invalidate the whole
+/// batch — a structurally invalid shared netlist. Everything
+/// request-specific comes back in that request's slot.
 pub fn run_pdat_batch(
     netlist: &Netlist,
     requests: &[BatchRequest<'_>],
     config: &PdatConfig,
     cache: &ProofCache,
-) -> Result<Vec<SubsetReport>, PdatError> {
+) -> Result<Vec<Result<SubsetReport, PdatError>>, PdatError> {
     let governor = Governor::new(&GovernorConfig {
         deadline: config.deadline,
         conflict_budget: config.global_conflict_budget,
@@ -658,15 +664,17 @@ pub fn run_pdat_batch(
 ///
 /// # Errors
 ///
-/// Returns [`PdatError`] if the netlist is structurally invalid or any
-/// request names a constraint net that is not a free analysis variable.
+/// Returns an outer [`PdatError`] only if the shared netlist is
+/// structurally invalid; per-request failures (e.g. an unbound
+/// constraint net) land in that request's own slot without affecting
+/// its batch-mates.
 pub fn run_pdat_batch_governed(
     netlist: &Netlist,
     requests: &[BatchRequest<'_>],
     config: &PdatConfig,
     governor: &Governor,
     cache: &ProofCache,
-) -> Result<Vec<SubsetReport>, PdatError> {
+) -> Result<Vec<Result<SubsetReport, PdatError>>, PdatError> {
     netlist.validate()?;
     let nfp = netlist_fingerprint(netlist);
     let cenvs: Vec<CanonicalEnv> = requests
@@ -678,7 +686,8 @@ pub fn run_pdat_batch_governed(
 
     let mut baseline: Option<NetlistStats> = None;
     let mut uncut_model: Option<(NetlistAig, Vec<Candidate>)> = None;
-    let mut out: Vec<Option<SubsetReport>> = (0..requests.len()).map(|_| None).collect();
+    let mut out: Vec<Option<Result<SubsetReport, PdatError>>> =
+        (0..requests.len()).map(|_| None).collect();
     for &i in &order {
         let report = solve_cached(
             netlist,
@@ -691,7 +700,7 @@ pub fn run_pdat_batch_governed(
             governor,
             cache,
             &mut uncut_model,
-        )?;
+        );
         out[i] = Some(report);
     }
     Ok(out.into_iter().flatten().collect())
@@ -1079,8 +1088,12 @@ mod tests {
                 extras: vec![],
             },
         ];
-        let reports = run_pdat_batch(&nl, &requests, &cfg, &cache).expect("valid requests");
-        assert_eq!(reports.len(), 3);
+        let outcomes = run_pdat_batch(&nl, &requests, &cfg, &cache).expect("valid netlist");
+        assert_eq!(outcomes.len(), 3);
+        let reports: Vec<&SubsetReport> = outcomes
+            .iter()
+            .map(|r| r.as_ref().expect("valid request"))
+            .collect();
         // The ancestor solved cold (once), its duplicate was an exact
         // hit, and the descendant warm-started — despite arriving first.
         assert_eq!(reports[1].cache, CacheEffect::Miss);
@@ -1094,6 +1107,62 @@ mod tests {
         assert_eq!(reports[1].proved, reports[2].proved);
         let s = cache.stats();
         assert_eq!((s.exact_hits, s.lattice_hits, s.misses), (1, 1, 1));
+    }
+
+    #[test]
+    fn batch_isolates_malformed_requests() {
+        // Keyed design built inline so we keep a handle to an internal
+        // net — attaching an RV constraint there is the malformed case
+        // (`UnboundConstraintNet`).
+        let mut nl = Netlist::new("locked");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let fb = nl.add_net("fb");
+        let key = nl.add_dff(fb, true, "key");
+        nl.assign_alias(fb, key);
+        let t = nl.add_cell(CellKind::And2, &[a, b], "t");
+        let decoy = nl.add_cell(CellKind::Xor2, &[a, b], "decoy");
+        let out = nl.add_cell(CellKind::Mux2, &[decoy, t, key], "out");
+        nl.add_output("y", out);
+
+        let subset = RvSubset::rv32i();
+        let cache = ProofCache::new();
+        let requests = vec![
+            BatchRequest {
+                env: Environment::Unconstrained,
+                extras: vec![],
+            },
+            BatchRequest {
+                env: Environment::Rv {
+                    subset: &subset,
+                    ports: vec![vec![t; 32]],
+                    mode: ConstraintMode::PortBased,
+                },
+                extras: vec![],
+            },
+            BatchRequest {
+                env: Environment::Unconstrained,
+                extras: vec![],
+            },
+        ];
+        let outcomes =
+            run_pdat_batch(&nl, &requests, &PdatConfig::default(), &cache).expect("valid netlist");
+        assert_eq!(outcomes.len(), 3);
+        assert!(
+            matches!(
+                outcomes[1],
+                Err(PdatError::UnboundConstraintNet { .. })
+            ),
+            "the malformed request fails in its own slot: {:?}",
+            outcomes[1].as_ref().map(|_| ())
+        );
+        let good: Vec<&SubsetReport> = [&outcomes[0], &outcomes[2]]
+            .into_iter()
+            .map(|r| r.as_ref().expect("well-formed batch-mate survives"))
+            .collect();
+        assert!(!good[0].proved.is_empty());
+        assert_eq!(good[0].proved, good[1].proved);
+        assert_eq!(good[1].cache, CacheEffect::ExactHit);
     }
 
     #[test]

@@ -48,6 +48,11 @@ pub enum Cause {
     WorkerPanic,
     /// A stage-local iteration cap was reached.
     IterationCap,
+    /// A deterministic injected fault (an armed [`FaultPlan`] arm)
+    /// tripped. The service layer uses this to classify an outcome as
+    /// retryable: an injected fault is transient by construction, so the
+    /// same request re-run under a clean governor can still complete.
+    FaultInjected,
 }
 
 impl fmt::Display for Cause {
@@ -59,6 +64,7 @@ impl fmt::Display for Cause {
             Cause::Cancelled => "run cancelled",
             Cause::WorkerPanic => "worker panic isolated",
             Cause::IterationCap => "iteration cap reached",
+            Cause::FaultInjected => "injected fault tripped",
         };
         f.write_str(s)
     }
@@ -132,20 +138,42 @@ pub struct FaultPlan {
     /// Panic the falsification worker running this chunk when it reaches
     /// this cycle, as `(chunk_index, cycle)`.
     pub sim_panic_at: Option<(u64, u64)>,
+    /// Fail cache persistence after this many logical write operations
+    /// (0 = the very first write fails). Consumed by the cache I/O layer
+    /// to simulate a `kill -9`-style interruption mid-save: the torn
+    /// temp file is left on disk exactly as a crash would leave it.
+    pub io_fail_after_writes: Option<u64>,
+    /// Panic the service worker as it picks up the request with this
+    /// admission index (first attempt only — the retry runs clean).
+    pub worker_panic_on_request: Option<u64>,
+    /// Give the request with this admission index an already-expired
+    /// per-request deadline (first attempt only), forcing an immediate
+    /// deadline degradation.
+    pub deadline_fuse: Option<u64>,
 }
 
 impl FaultPlan {
     /// True if the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.solver_unknown_after_conflicts.is_none() && self.sim_panic_at.is_none()
+        self.solver_unknown_after_conflicts.is_none()
+            && self.sim_panic_at.is_none()
+            && self.io_fail_after_writes.is_none()
+            && self.worker_panic_on_request.is_none()
+            && self.deadline_fuse.is_none()
     }
 
     /// Derive a deterministic plan from a seed (used by the smoke harness
     /// and property tests; the same seed always yields the same plan).
+    /// The first two arms derive from the same seed words as before the
+    /// service arms existed, so historical pipeline-level schedules are
+    /// reproduced bit-for-bit by the same seeds.
     pub fn from_seed(seed: u64) -> FaultPlan {
         let mut s = seed;
         let a = splitmix64(&mut s);
         let b = splitmix64(&mut s);
+        let c = splitmix64(&mut s);
+        let d = splitmix64(&mut s);
+        let e = splitmix64(&mut s);
         FaultPlan {
             solver_unknown_after_conflicts: if a & 1 == 1 { Some(a >> 1 & 0x3F) } else { None },
             sim_panic_at: if b & 1 == 1 {
@@ -153,7 +181,20 @@ impl FaultPlan {
             } else {
                 None
             },
+            io_fail_after_writes: if c & 1 == 1 { Some(c >> 1 & 0x7) } else { None },
+            worker_panic_on_request: if d & 1 == 1 { Some(d >> 1 & 0x7) } else { None },
+            deadline_fuse: if e & 1 == 1 { Some(e >> 1 & 0x7) } else { None },
         }
+    }
+
+    /// Should the service worker picking up request `request` panic?
+    pub fn fires_worker_panic(&self, request: u64) -> bool {
+        self.worker_panic_on_request == Some(request)
+    }
+
+    /// Should request `request` get an already-expired deadline?
+    pub fn fires_deadline_fuse(&self, request: u64) -> bool {
+        self.deadline_fuse == Some(request)
     }
 }
 
@@ -445,10 +486,28 @@ mod tests {
         for seed in 0..64u64 {
             assert_eq!(FaultPlan::from_seed(seed), FaultPlan::from_seed(seed));
         }
-        // The seed space actually exercises both kinds of faults.
+        // The seed space actually exercises every kind of fault.
         assert!((0..64).any(|s| FaultPlan::from_seed(s).solver_unknown_after_conflicts.is_some()));
         assert!((0..64).any(|s| FaultPlan::from_seed(s).sim_panic_at.is_some()));
+        assert!((0..64).any(|s| FaultPlan::from_seed(s).io_fail_after_writes.is_some()));
+        assert!((0..64).any(|s| FaultPlan::from_seed(s).worker_panic_on_request.is_some()));
+        assert!((0..64).any(|s| FaultPlan::from_seed(s).deadline_fuse.is_some()));
         assert!((0..64).any(|s| FaultPlan::from_seed(s).is_empty()));
+    }
+
+    #[test]
+    fn service_arm_helpers_match_request_index() {
+        let plan = FaultPlan {
+            worker_panic_on_request: Some(3),
+            deadline_fuse: Some(5),
+            ..Default::default()
+        };
+        assert!(plan.fires_worker_panic(3));
+        assert!(!plan.fires_worker_panic(4));
+        assert!(plan.fires_deadline_fuse(5));
+        assert!(!plan.fires_deadline_fuse(3));
+        assert!(!FaultPlan::default().fires_worker_panic(0));
+        assert!(!FaultPlan::default().fires_deadline_fuse(0));
     }
 
     #[test]
@@ -471,7 +530,7 @@ mod tests {
             conflict_budget: Some(100),
             fault_plan: FaultPlan {
                 solver_unknown_after_conflicts: Some(4),
-                sim_panic_at: None,
+                ..Default::default()
             },
             ..Default::default()
         });
@@ -486,7 +545,7 @@ mod tests {
         let g = Governor::new(&GovernorConfig {
             fault_plan: FaultPlan {
                 solver_unknown_after_conflicts: Some(2),
-                sim_panic_at: None,
+                ..Default::default()
             },
             ..Default::default()
         });

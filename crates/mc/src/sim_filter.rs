@@ -1012,11 +1012,11 @@ mod tests {
         );
         let g = Governor::new(&GovernorConfig {
             fault_plan: FaultPlan {
-                solver_unknown_after_conflicts: None,
                 // Cycle 0 so the fault fires before the chunk can finish
                 // vetting (kills can empty the alive set within a cycle or
                 // two on a design this small).
                 sim_panic_at: Some((1, 0)),
+                ..Default::default()
             },
             ..Default::default()
         });

@@ -1225,7 +1225,7 @@ mod tests {
         let g = Governor::new(&GovernorConfig {
             fault_plan: FaultPlan {
                 solver_unknown_after_conflicts: Some(0),
-                sim_panic_at: None,
+                ..Default::default()
             },
             ..Default::default()
         });
@@ -1244,7 +1244,7 @@ mod tests {
         let g = Governor::new(&GovernorConfig {
             fault_plan: FaultPlan {
                 solver_unknown_after_conflicts: Some(3),
-                sim_panic_at: None,
+                ..Default::default()
             },
             ..Default::default()
         });

@@ -1,0 +1,178 @@
+//! Request/reply types for the PDAT service.
+//!
+//! [`Environment`] borrows its subset, which is the right shape for a
+//! one-shot pipeline call but not for a request that crosses a thread
+//! boundary and may be retried minutes later — so the service owns its
+//! environments ([`OwnedEnvironment`]) and re-borrows them per attempt.
+
+use pdat::{ConstraintMode, Environment, ExtraRestriction, PdatError, SubsetReport};
+use pdat_governor::Cause;
+use pdat_isa::{RvSubset, ThumbSubset};
+use pdat_netlist::NetId;
+use std::fmt;
+use std::sync::mpsc;
+
+/// An owned environment restriction — [`Environment`] without the borrow,
+/// so a request can live on the queue independent of its submitter.
+#[derive(Debug, Clone)]
+pub enum OwnedEnvironment {
+    /// No ISA restriction: all primary inputs free.
+    Unconstrained,
+    /// An RV32 subset applied to the given 32 instruction-bit nets.
+    Rv {
+        /// The allowed subset.
+        subset: RvSubset,
+        /// Instruction word nets (LSB first), one group per fetch port.
+        ports: Vec<Vec<NetId>>,
+        /// Port- or cutpoint-based attachment.
+        mode: ConstraintMode,
+    },
+    /// A Thumb subset applied to the given 16 instruction-bit nets.
+    Thumb {
+        /// The allowed subset.
+        subset: ThumbSubset,
+        /// Fetch halfword nets (LSB first).
+        port: Vec<NetId>,
+        /// Port- or cutpoint-based attachment.
+        mode: ConstraintMode,
+    },
+}
+
+impl OwnedEnvironment {
+    /// Borrow as the pipeline's [`Environment`] for one attempt.
+    pub fn as_env(&self) -> Environment<'_> {
+        match self {
+            OwnedEnvironment::Unconstrained => Environment::Unconstrained,
+            OwnedEnvironment::Rv {
+                subset,
+                ports,
+                mode,
+            } => Environment::Rv {
+                subset,
+                ports: ports.clone(),
+                mode: *mode,
+            },
+            OwnedEnvironment::Thumb { subset, port, mode } => Environment::Thumb {
+                subset,
+                port: port.clone(),
+                mode: *mode,
+            },
+        }
+    }
+}
+
+/// One service request: evaluate an environment restriction (plus extra
+/// restrictions) of the service's netlist through its shared proof cache.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// The environment restriction to evaluate.
+    pub env: OwnedEnvironment,
+    /// Additional restrictions conjoined into the environment.
+    pub extras: Vec<ExtraRestriction>,
+}
+
+/// Why [`submit`](crate::PdatService::submit) refused a request at the
+/// door (admission control — the request was never enqueued).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadReason {
+    /// The bounded request queue is at capacity.
+    QueueFull,
+    /// The service-wide conflict budget is spent; accepting more work
+    /// could only produce degraded answers.
+    BudgetExhausted,
+}
+
+impl fmt::Display for OverloadReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OverloadReason::QueueFull => "request queue full",
+            OverloadReason::BudgetExhausted => "service conflict budget exhausted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Typed admission failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The service is up but cannot accept this request right now; the
+    /// caller may back off and resubmit.
+    Overloaded {
+        /// What was saturated.
+        reason: OverloadReason,
+        /// Queue occupancy observed at rejection time.
+        queue_len: usize,
+    },
+    /// The service is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Overloaded { reason, queue_len } => {
+                write!(f, "overloaded ({reason}; {queue_len} queued)")
+            }
+            SubmitError::ShuttingDown => f.write_str("service shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The service's answer to one admitted request.
+///
+/// Soundness contract (paper §VII-C, lifted to the service): a [`Done`]
+/// reply is bit-identical to an unfaulted, unbudgeted oracle run of the
+/// same request; every other variant is a clean typed outcome that never
+/// claims a proof. Nothing in between — a faulted attempt either retries
+/// or surfaces as [`Exhausted`].
+///
+/// [`Done`]: Reply::Done
+/// [`Exhausted`]: Reply::Exhausted
+#[derive(Debug)]
+pub enum Reply {
+    /// Complete, undegraded answer.
+    Done(SubsetReport),
+    /// The request itself is invalid (deterministic — never retried).
+    Rejected(PdatError),
+    /// Every attempt degraded; the request is *safely unproved*. Carries
+    /// the attempt count and the final attempt's degradation cause.
+    Exhausted {
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// Why the last attempt degraded.
+        last_cause: Cause,
+    },
+    /// The service shut down before answering.
+    ShutDown,
+}
+
+impl Reply {
+    /// True for [`Reply::Done`].
+    pub fn is_done(&self) -> bool {
+        matches!(self, Reply::Done(_))
+    }
+}
+
+/// Handle to one admitted request's eventual [`Reply`].
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) id: u64,
+    pub(crate) rx: mpsc::Receiver<Reply>,
+}
+
+impl Ticket {
+    /// Admission index of the request (the id fault-plan service arms
+    /// match against).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the reply arrives. A disconnected worker pool (service
+    /// torn down without answering) reads as [`Reply::ShutDown`] — the
+    /// caller always gets a typed outcome.
+    pub fn wait(self) -> Reply {
+        self.rx.recv().unwrap_or(Reply::ShutDown)
+    }
+}

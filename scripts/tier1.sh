@@ -36,3 +36,9 @@ cargo test -q --workspace
 # and the save/load round-trip on a small instruction-port design —
 # every cached answer must be bit-identical to a cold run.
 ./target/release/cache_smoke
+
+# Service gate: boot the supervised service, push ~50 requests through it
+# across fault-armed rounds (worker panics, deadline fuses, interrupted
+# checkpoints), and check that every reply is oracle-exact or a typed
+# error and the cache snapshot on disk is never corrupted.
+./target/release/serve_smoke

@@ -6,16 +6,22 @@
 //! system inventory.
 
 pub use pdat::{
-    canonical_env, load_cache, netlist_fingerprint, run_pdat, run_pdat_batch,
-    run_pdat_batch_governed, run_pdat_cached, run_pdat_cached_governed, run_pdat_governed,
-    run_pdat_with, rv_canonical_forms, rv_constraint, save_cache, thumb_canonical_forms,
-    thumb_constraint, BatchRequest, CacheEffect, Candidate, CandidateId, CandidateKind,
-    CanonicalEnv, CanonicalForm, Cause, ConstraintMode, DegradationEvent, Environment, EnvMode,
-    ExtraRestriction, FaultPlan, Governor, GovernorConfig, InstrConstraint, PdatConfig, PdatError,
-    PdatResult, ProofCache, ProveConfig, Stage, SubsetReport,
+    canonical_env, load_cache, load_cache_or_quarantine, netlist_fingerprint, run_pdat,
+    run_pdat_batch, run_pdat_batch_governed, run_pdat_cached, run_pdat_cached_governed,
+    run_pdat_governed, run_pdat_with, rv_canonical_forms, rv_constraint, save_cache,
+    save_cache_with_faults, thumb_canonical_forms, thumb_constraint, BatchRequest, CacheEffect,
+    Candidate, CandidateId, CandidateKind, CanonicalEnv, CanonicalForm, Cause, ConstraintMode,
+    DegradationEvent, Environment, EnvMode, ExtraRestriction, FaultPlan, Governor, GovernorConfig,
+    InstrConstraint, LoadOutcome, PdatConfig, PdatError, PdatResult, ProofCache, ProveConfig,
+    Stage, SubsetReport,
+};
+pub use pdat_serve::{
+    OverloadReason, OwnedEnvironment, PdatService, Reply, ServeConfig, ServeRequest, ServiceStats,
+    SubmitError, Ticket,
 };
 pub use pdat_cache as cache;
 pub use pdat_governor as governor;
+pub use pdat_serve as serve;
 pub use pdat_aig as aig;
 pub use pdat_cores as cores;
 pub use pdat_isa as isa;

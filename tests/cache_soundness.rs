@@ -167,7 +167,11 @@ proptest! {
             .iter()
             .map(|s| BatchRequest { env: port_env(s, &port), extras: Vec::new() })
             .collect();
-        let warm = run_pdat_batch(&nl, &requests, &config, &shared).expect("warm batch");
+        let warm: Vec<SubsetReport> = run_pdat_batch(&nl, &requests, &config, &shared)
+            .expect("warm batch")
+            .into_iter()
+            .map(|r| r.expect("well-formed warm request"))
+            .collect();
         prop_assert!(matches!(warm[0].cache, CacheEffect::Miss));
         for (i, (c, w)) in cold_reports.iter().zip(&warm).enumerate() {
             prop_assert_eq!(

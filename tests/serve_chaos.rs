@@ -1,0 +1,313 @@
+//! Chaos/soak property test for the PDAT service.
+//!
+//! For *any* seeded fault schedule (worker panics on pickup, deadline
+//! fuses, forced solver unknowns, mid-simulation panics, interrupted
+//! checkpoints) and any scheduling seed, every reply out of a
+//! [`PdatService`] must be either
+//!
+//! - `Done` with a proved set bit-identical to the unfaulted cold
+//!   oracle of the same request, or
+//! - a clean typed error (`Rejected` for the malformed request).
+//!
+//! Nothing in between: a fault may cost a retry, never change an
+//! answer, and never wedge, crash, or corrupt the snapshot on disk.
+
+use pdat_repro::isa::rv32::RvInstr;
+use pdat_repro::isa::RvSubset;
+use pdat_repro::netlist::{CellKind, NetId, Netlist};
+use pdat_repro::{
+    load_cache_or_quarantine, run_pdat_cached, save_cache_with_faults, CandidateId,
+    ConstraintMode, Environment, FaultPlan, LoadOutcome, OwnedEnvironment, PdatConfig,
+    PdatError, PdatService, ProofCache, Reply, ServeConfig, ServeRequest,
+};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// Serializes panic-hook swaps: injected worker panics would otherwise
+/// spray backtraces over the test log, but the hook is process-global.
+fn hook_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Run `f` with the default panic hook silenced.
+fn quietly<T>(f: impl FnOnce() -> T) -> T {
+    let _guard = hook_lock().lock().unwrap();
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+/// Two exact-pattern detectors + sticky latches on a 32-bit instruction
+/// port (a lighter cut of the `cache_soundness` fixture), plus one
+/// internal net for building a malformed request.
+fn detector_core() -> (Netlist, Vec<NetId>, NetId) {
+    let mut nl = Netlist::new("rvdet2");
+    let port: Vec<NetId> = (0..32).map(|b| nl.add_input(&format!("i{b}"))).collect();
+    let mut internal = port[0];
+    for instr in [RvInstr::Add, RvInstr::Jalr] {
+        let p = instr.pattern();
+        let tag = format!("{instr:?}").to_lowercase();
+        let mut acc: Option<NetId> = None;
+        for b in 0..32 {
+            if p.mask >> b & 1 == 0 {
+                continue;
+            }
+            let bit = if p.value >> b & 1 == 1 {
+                port[b]
+            } else {
+                nl.add_cell(CellKind::Inv, &[port[b]], &format!("{tag}_n{b}"))
+            };
+            acc = Some(match acc {
+                None => bit,
+                Some(a) => nl.add_cell(CellKind::And2, &[a, bit], &format!("{tag}_a{b}")),
+            });
+        }
+        let det = acc.expect("pattern has masked bits");
+        let fb = nl.add_net(&format!("{tag}_fb"));
+        let q = nl.add_dff(fb, false, &format!("{tag}_seen"));
+        let sticky = nl.add_cell(CellKind::Or2, &[q, det], &format!("{tag}_sticky"));
+        nl.assign_alias(fb, sticky);
+        nl.add_output(&format!("saw_{tag}"), sticky);
+        internal = sticky;
+    }
+    (nl, port, internal)
+}
+
+fn base_config() -> PdatConfig {
+    PdatConfig {
+        sim_cycles: 64,
+        conflict_budget: Some(40_000),
+        max_iterations: 1_000,
+        seed: 0xC4A05,
+        ..Default::default()
+    }
+}
+
+fn subsets() -> Vec<RvSubset> {
+    let mut no_add = RvSubset::rv32i();
+    no_add.instrs.remove(&RvInstr::Add);
+    no_add.name = "no-add".to_string();
+    let mut no_jalr = RvSubset::rv32i();
+    no_jalr.instrs.remove(&RvInstr::Jalr);
+    no_jalr.name = "no-jalr".to_string();
+    vec![RvSubset::rv32i(), no_add, no_jalr]
+}
+
+fn request_for(slot: usize, port: &[NetId]) -> ServeRequest {
+    ServeRequest {
+        env: OwnedEnvironment::Rv {
+            subset: subsets()[slot].clone(),
+            ports: vec![port.to_vec()],
+            mode: ConstraintMode::PortBased,
+        },
+        extras: Vec::new(),
+    }
+}
+
+/// Cold, unfaulted oracle per subset slot — computed once per process.
+fn oracles() -> &'static Vec<Vec<CandidateId>> {
+    static ORACLES: OnceLock<Vec<Vec<CandidateId>>> = OnceLock::new();
+    ORACLES.get_or_init(|| {
+        let (nl, port, _) = detector_core();
+        subsets()
+            .iter()
+            .map(|s| {
+                let env = Environment::Rv {
+                    subset: s,
+                    ports: vec![port.to_vec()],
+                    mode: ConstraintMode::PortBased,
+                };
+                run_pdat_cached(&nl, &env, &[], &base_config(), &ProofCache::new())
+                    .expect("oracle run")
+                    .proved
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For any (fault schedule, scheduling seed): every reply is Done
+    /// with the oracle's exact proved set, or the malformed request's
+    /// typed rejection. The pool survives whatever the plan injects.
+    #[test]
+    fn every_reply_is_oracle_exact_or_a_typed_error(
+        fault_seed in any::<u64>(),
+        sched_seed in any::<u64>(),
+    ) {
+        let (nl, port, internal) = detector_core();
+        let oracle = oracles();
+        let plan = FaultPlan::from_seed(fault_seed);
+        let replies = quietly(|| {
+            let service = PdatService::start(nl, ServeConfig {
+                workers: 1 + (sched_seed % 3) as usize,
+                queue_depth: 32,
+                retry_cap: 2,
+                backoff_base: Duration::from_micros(50 + sched_seed % 200),
+                seed: sched_seed,
+                fault_plan: plan.clone(),
+                pdat: base_config(),
+                ..Default::default()
+            }).expect("service boots");
+            let tickets: Vec<_> = (0..8).map(|i| {
+                let req = if i == 5 {
+                    // Constraint nets that are not free analysis
+                    // variables: must answer Rejected, not sink the pool.
+                    ServeRequest {
+                        env: OwnedEnvironment::Rv {
+                            subset: RvSubset::rv32i(),
+                            ports: vec![vec![internal; 32]],
+                            mode: ConstraintMode::PortBased,
+                        },
+                        extras: Vec::new(),
+                    }
+                } else {
+                    request_for(i % 3, &port)
+                };
+                (i, service.submit(req).expect("admission"))
+            }).collect();
+            let replies: Vec<(usize, Reply)> =
+                tickets.into_iter().map(|(i, t)| (i, t.wait())).collect();
+            let stats = service.shutdown();
+            prop_assert_eq!(stats.admitted, 8);
+            prop_assert_eq!(
+                stats.replies_done + stats.replies_rejected + stats.replies_exhausted,
+                8,
+                "every admitted request must be answered"
+            );
+            Ok(replies)
+        })?;
+        for (i, reply) in replies {
+            match reply {
+                Reply::Done(report) => {
+                    prop_assert!(i != 5, "the malformed request must not answer Done");
+                    prop_assert_eq!(
+                        &report.proved, &oracle[i % 3],
+                        "fault schedule {:?} changed request {}'s answer", plan, i
+                    );
+                }
+                Reply::Rejected(e) => {
+                    prop_assert_eq!(i, 5, "well-formed request {} rejected: {}", i, e);
+                    prop_assert!(matches!(e, PdatError::UnboundConstraintNet { .. }));
+                }
+                other => {
+                    // Fault arms are first-attempt-only and retry_cap is
+                    // 2, so exhaustion/shutdown would be a liveness bug.
+                    return Err(TestCaseError::Fail(format!(
+                        "request {i} under {plan:?} answered {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+}
+
+/// Booting over a corrupt snapshot quarantines it (service starts cold
+/// and keeps answering), and the next clean shutdown re-persists a
+/// loadable snapshot in its place.
+#[test]
+fn corrupt_snapshot_is_quarantined_and_replaced() {
+    let dir = std::env::temp_dir().join(format!("pdat_serve_chaos_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("cache.txt");
+    std::fs::write(&path, "pdat-proof-cache v1\nrun zz zz\n").expect("write corrupt file");
+
+    let (nl, port, _) = detector_core();
+    let service = PdatService::start(
+        nl.clone(),
+        ServeConfig {
+            cache_path: Some(path.clone()),
+            pdat: base_config(),
+            ..Default::default()
+        },
+    )
+    .expect("service boots over a corrupt snapshot");
+    let boot = service.stats();
+    assert!(boot.cache_quarantined, "corrupt snapshot must be quarantined");
+    assert_eq!(boot.cache_entries_loaded, 0);
+    let mut quarantine = path.clone().into_os_string();
+    quarantine.push(".quarantine");
+    assert!(
+        std::path::Path::new(&quarantine).exists(),
+        "the corrupt bytes must be preserved for forensics"
+    );
+
+    let t = service.submit(request_for(0, &port)).expect("admission");
+    assert!(t.wait().is_done(), "a quarantined boot still serves");
+    let stats = service.shutdown();
+    assert!(stats.checkpoints_ok >= 1, "shutdown re-persists the cache");
+
+    // The replacement snapshot is loadable and warms the next boot.
+    let reboot = PdatService::start(
+        nl,
+        ServeConfig {
+            cache_path: Some(path.clone()),
+            pdat: base_config(),
+            ..Default::default()
+        },
+    )
+    .expect("reboot");
+    assert!(reboot.stats().cache_entries_loaded >= 1);
+    drop(reboot);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A save interrupted at every possible write boundary leaves the
+/// previous snapshot fully loadable — the service's checkpointer can
+/// die mid-save at any point without losing the cache.
+#[test]
+fn interrupted_checkpoint_never_corrupts_the_snapshot() {
+    let dir = std::env::temp_dir().join(format!("pdat_serve_chaos_io_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("cache.txt");
+
+    let (nl, port, _) = detector_core();
+    // Populate a one-entry cache through the pipeline and snapshot it.
+    let old = ProofCache::new();
+    let env0 = Environment::Rv {
+        subset: &subsets()[0],
+        ports: vec![port.to_vec()],
+        mode: ConstraintMode::PortBased,
+    };
+    run_pdat_cached(&nl, &env0, &[], &base_config(), &old).expect("seed run");
+    save_cache_with_faults(&old, &path, None).expect("baseline save");
+
+    // A richer cache whose save we interrupt at every write boundary.
+    let new = ProofCache::new();
+    for s in subsets() {
+        let env = Environment::Rv {
+            subset: &s,
+            ports: vec![port.to_vec()],
+            mode: ConstraintMode::PortBased,
+        };
+        run_pdat_cached(&nl, &env, &[], &base_config(), &new).expect("grow run");
+    }
+    assert!(new.len() > old.len());
+
+    for fail_after in 0..10u64 {
+        let saved = save_cache_with_faults(&new, &path, Some(fail_after));
+        let reloaded = ProofCache::new();
+        match load_cache_or_quarantine(&reloaded, &path).expect("load never errors") {
+            LoadOutcome::Loaded(n) => {
+                if saved.is_ok() {
+                    assert_eq!(n, new.len(), "complete save must be visible");
+                } else {
+                    assert_eq!(n, old.len(), "torn save must leave the old snapshot");
+                }
+            }
+            other => panic!("snapshot corrupted at fail_after={fail_after}: {other:?}"),
+        }
+        // Re-arm the baseline for the next interruption point if the
+        // new snapshot landed.
+        if saved.is_ok() {
+            save_cache_with_faults(&old, &path, None).expect("re-arm baseline");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
